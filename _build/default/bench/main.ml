@@ -1,0 +1,411 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Sec. 5) and runs the ablation studies listed in
+   DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- table1 table2 fig7
+     dune exec bench/main.exe -- ablation-baseline ablation-rules ablation-stages
+     dune exec bench/main.exe -- bechamel   # timing micro-benchmarks only
+
+   The absolute CPU times differ from the paper's SUN Ultra 30 (1997
+   hardware); EXPERIMENTS.md records both and compares the shapes. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: DE benchmark, BMP for T in {6, 13, 14}                     *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  let de = Benchmarks.De.instance in
+  Format.printf "@.== Table 1: DE benchmark, minimal chip per time budget ==@.";
+  Format.printf "   T   chip (ours)   chip (paper)   CPU-time (ours)@.";
+  List.iter
+    (fun (t_max, expected) ->
+      let result, dt = wall (fun () -> Packing.Problems.minimize_base de ~t_max) in
+      match result with
+      | None -> Format.printf "  %3d  impossible@." t_max
+      | Some { Packing.Problems.value; _ } ->
+        Format.printf "  %3d  %dx%-10d %dx%-12d %.3f s%s@." t_max value value
+          expected expected dt
+          (if value = expected then "" else "   MISMATCH"))
+    Benchmarks.De.table1
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: video codec, BMP at the minimal latency                    *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  let codec = Benchmarks.Video_codec.instance in
+  let h_exp, t_exp = Benchmarks.Video_codec.table2 in
+  Format.printf "@.== Table 2: video codec ==@.";
+  let result, dt =
+    wall (fun () -> Packing.Problems.minimize_base codec ~t_max:t_exp)
+  in
+  (match result with
+  | None -> Format.printf "  impossible?!@."
+  | Some { Packing.Problems.value; _ } ->
+    Format.printf "  T = %d: chip %dx%d (paper %dx%d), CPU-time %.3f s%s@."
+      t_exp value value h_exp h_exp dt
+      (if value = h_exp then "" else "   MISMATCH"));
+  (* The paper also reports that T = 59 is the smallest feasible latency
+     and that no chip below 64x64 works at all. *)
+  let spp, dt2 =
+    wall (fun () -> Packing.Problems.minimize_time codec ~w:64 ~h:64)
+  in
+  (match spp with
+  | Some { Packing.Problems.value; _ } ->
+    Format.printf "  SPP on 64x64: T = %d (paper %d), %.3f s@." value t_exp dt2
+  | None -> Format.printf "  SPP on 64x64: impossible?!@.");
+  let infeasible_63, dt3 =
+    wall (fun () ->
+        match
+          Packing.Opp_solver.solve codec
+            (Geometry.Container.make3 ~w:63 ~h:63 ~t_max:200)
+        with
+        | Packing.Opp_solver.Infeasible, _ -> true
+        | _ -> false)
+  in
+  Format.printf "  63x63 infeasible at any latency: %b, %.3f s@." infeasible_63
+    dt3
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: Pareto fronts with and without precedence constraints       *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  Format.printf "@.== Fig. 7: DE Pareto fronts (chip size vs. makespan) ==@.";
+  let show label inst =
+    let front, dt =
+      wall (fun () -> Packing.Problems.pareto_front inst ~h_min:16 ~h_max:48)
+    in
+    Format.printf "  %s (%.3f s):@." label dt;
+    List.iter (fun (h, t) -> Format.printf "    %2dx%-2d -> %2d cycles@." h h t) front
+  in
+  show "with precedence (solid)" Benchmarks.De.instance;
+  show "without precedence (dashed)" Benchmarks.De.instance_without_precedence
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A: packing classes vs. naive geometric branch and bound    *)
+(* ------------------------------------------------------------------ *)
+
+let search_only =
+  {
+    Packing.Opp_solver.default_options with
+    use_bounds = false;
+    use_heuristic = false;
+  }
+
+let ablation_baseline () =
+  Format.printf
+    "@.== Ablation A: packing-class search vs. geometric enumeration ==@.";
+  Format.printf
+    "  instance              verdict     packing nodes   geometric nodes@.";
+  Format.printf
+    "  (both solvers run search-only; \"timeout\" = budget exhausted — the\n\
+    \   full pipeline settles every case via bounds or the heuristic)@.";
+  let cases =
+    [
+      ( "DE 17x17x12",
+        Benchmarks.De.instance,
+        Geometry.Container.make3 ~w:17 ~h:17 ~t_max:12 );
+      ( "DE 16x16x14",
+        Benchmarks.De.instance,
+        Geometry.Container.make3 ~w:16 ~h:16 ~t_max:14 );
+      ( "DE 32x32x6",
+        Benchmarks.De.instance,
+        Geometry.Container.make3 ~w:32 ~h:32 ~t_max:6 );
+    ]
+    @ List.map
+        (fun seed ->
+          let inst =
+            Benchmarks.Generate.random ~seed ~n:6 ~max_extent:4 ~max_duration:3
+              ~arc_probability:0.2 ()
+          in
+          ( Printf.sprintf "random seed %d" seed,
+            inst,
+            Geometry.Container.make3 ~w:6 ~h:6 ~t_max:6 ))
+        [ 1; 2; 3; 4 ]
+  in
+  List.iter
+    (fun (name, inst, container) ->
+      let limited = { search_only with node_limit = Some 300_000 } in
+      let outcome, stats =
+        Packing.Opp_solver.solve ~options:limited inst container
+      in
+      let base_outcome, base_stats =
+        Baseline.Geometric_bb.solve ~node_limit:1_000_000 inst container
+      in
+      let verdict =
+        Format.asprintf "%a" Packing.Opp_solver.pp_outcome outcome
+      in
+      let base_note =
+        match base_outcome with
+        | Baseline.Geometric_bb.Timeout -> " (gave up)"
+        | Baseline.Geometric_bb.Feasible _ | Baseline.Geometric_bb.Infeasible -> ""
+      in
+      Format.printf "  %-20s  %-10s %13d  %15d%s@." name verdict
+        stats.Packing.Opp_solver.nodes base_stats.Baseline.Geometric_bb.nodes
+        base_note)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Ablation B: contribution of each propagation family                 *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_rules () =
+  Format.printf "@.== Ablation B: propagation families (DE, 17x17x12) ==@.";
+  Format.printf "  configuration              verdict     nodes      time@.";
+  let de = Benchmarks.De.instance in
+  let container = Geometry.Container.make3 ~w:17 ~h:17 ~t_max:12 in
+  let run name rules =
+    let options =
+      { search_only with rules; node_limit = Some 1_000_000 }
+    in
+    let (outcome, stats), dt =
+      wall (fun () -> Packing.Opp_solver.solve ~options de container)
+    in
+    let verdict = Format.asprintf "%a" Packing.Opp_solver.pp_outcome outcome in
+    Format.printf "  %-26s %-10s %7d  %8.3f s@." name verdict
+      stats.Packing.Opp_solver.nodes dt
+  in
+  let all = Packing.Packing_state.default_rules in
+  run "all rules" all;
+  run "no C2 chain cliques" { all with c2_cliques = false };
+  run "no C4 cycle rule" { all with c4_cycles = false };
+  run "no D1/D2 implications" { all with implications = false };
+  run "no capacity cliques" { all with component_cliques = false };
+  run "bare (C3 + width only)"
+    {
+      c2_cliques = false;
+      c4_cycles = false;
+      implications = false;
+      component_cliques = false;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Ablation C: stages 1 and 2 (bounds, heuristic)                      *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_stages () =
+  Format.printf "@.== Ablation C: bounds and heuristic stages (DE, BMP) ==@.";
+  Format.printf "  configuration        T=6          T=13         T=14@.";
+  let de = Benchmarks.De.instance in
+  let run name options =
+    (* Budget each solve so a disabled stage cannot hang the bench; a
+       budget hit surfaces as "gave up". *)
+    let options = { options with Packing.Opp_solver.node_limit = Some 400_000 } in
+    Format.printf "  %-18s" name;
+    List.iter
+      (fun (t_max, _) ->
+        let result, dt =
+          wall (fun () ->
+              try `Res (Packing.Problems.minimize_base ~options de ~t_max)
+              with Failure _ -> `Gave_up)
+        in
+        match result with
+        | `Res (Some { Packing.Problems.value; _ }) ->
+          Format.printf "  %2d (%0.2fs)" value dt
+        | `Res None -> Format.printf "  -- (%0.2fs)" dt
+        | `Gave_up -> Format.printf "  ?? (%0.2fs)" dt)
+      Benchmarks.De.table1;
+    Format.printf "@."
+  in
+  run "full pipeline" Packing.Opp_solver.default_options;
+  run "no bounds"
+    { Packing.Opp_solver.default_options with use_bounds = false };
+  run "no heuristic"
+    { Packing.Opp_solver.default_options with use_heuristic = false };
+  run "search only" search_only
+
+
+(* ------------------------------------------------------------------ *)
+(* Extension: rectangular chips (beyond the paper's quadratic base)    *)
+(* ------------------------------------------------------------------ *)
+
+let rect () =
+  Format.printf
+    "@.== Extension: rectangular chip area minimization (DE) ==@.";
+  Format.printf "   T   square chip   area   best rectangle   area@.";
+  let de = Benchmarks.De.instance in
+  List.iter
+    (fun (t_max, _) ->
+      let square = Packing.Problems.minimize_base de ~t_max in
+      let rect = Packing.Problems.minimize_area_rect de ~t_max in
+      match (square, rect) with
+      | Some { Packing.Problems.value = s; _ }, Some { Packing.Problems.value = w, h; _ }
+        ->
+        Format.printf "  %3d   %dx%-8d %5d   %dx%-12d %5d@." t_max s s (s * s)
+          w h (w * h)
+      | _ -> Format.printf "  %3d   impossible@." t_max)
+    Benchmarks.De.table1
+
+(* ------------------------------------------------------------------ *)
+(* Extension: scaling on parametric DFG families                       *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  Format.printf "@.== Extension: scaling on parametric DFG families ==@.";
+  Format.printf "  instance         tasks   SPP on 32x32        time@.";
+  let run inst =
+    let (result, dt) =
+      wall (fun () -> Packing.Problems.minimize_time inst ~w:32 ~h:32)
+    in
+    (match result with
+    | Some { Packing.Problems.value; _ } ->
+      Format.printf "  %-16s %5d   T = %-12d %8.3f s@."
+        (Packing.Instance.name inst)
+        (Packing.Instance.count inst)
+        value dt
+    | None ->
+      Format.printf "  %-16s %5d   misfit@."
+        (Packing.Instance.name inst)
+        (Packing.Instance.count inst))
+  in
+  List.iter run
+    [
+      Benchmarks.Dfg.fir ~taps:2;
+      Benchmarks.Dfg.fir ~taps:4;
+      Benchmarks.Dfg.fir ~taps:6;
+      Benchmarks.Dfg.fir ~taps:8;
+      Benchmarks.Dfg.chain ~length:6;
+      Benchmarks.Dfg.chain ~length:10;
+      Benchmarks.Dfg.independent ~n:6;
+      Benchmarks.Dfg.independent ~n:9;
+      Benchmarks.Dfg.butterfly ~stages:2;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Extension: online management vs. compile-time optimum               *)
+(* ------------------------------------------------------------------ *)
+
+let online () =
+  Format.printf
+    "@.== Extension: online placement vs. compile-time optimum (DE, 32x32)      ==@.";
+  let de = Benchmarks.De.instance in
+  let chip = Fpga.Chip.square 32 in
+  let optimum =
+    match Packing.Problems.minimize_time de ~w:32 ~h:32 with
+    | Some { Packing.Problems.value; _ } -> value
+    | None -> -1
+  in
+  Format.printf "  compile-time optimum: %d cycles@." optimum;
+  Format.printf "  arrival pattern        makespan   compactions@.";
+  let patterns =
+    [
+      ("all at 0", fun _ -> 0);
+      ("multipliers late", fun i -> if Packing.Instance.extent de i 1 = 16 then 4 else 0);
+      ("staggered by index", fun i -> i);
+    ]
+  in
+  List.iter
+    (fun (label, at) ->
+      let arrivals =
+        List.init (Packing.Instance.count de) (fun i ->
+            { Fpga.Online.task = i; arrival_time = at i })
+      in
+      let r = Fpga.Online.run de arrivals ~chip ~compaction:true ~move_delay:1 in
+      Format.printf "  %-22s %8d   %11d@." label r.Fpga.Online.makespan
+        r.Fpga.Online.compactions)
+    patterns
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table / figure         *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let de = Benchmarks.De.instance in
+  let codec = Benchmarks.Video_codec.instance in
+  let t_table1 =
+    Test.make ~name:"table1/de-bmp"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (t_max, _) ->
+               ignore (Packing.Problems.minimize_base de ~t_max))
+             Benchmarks.De.table1))
+  in
+  let t_table2 =
+    Test.make ~name:"table2/codec-bmp"
+      (Staged.stage (fun () ->
+           ignore (Packing.Problems.minimize_base codec ~t_max:59)))
+  in
+  let t_fig7 =
+    Test.make ~name:"fig7/pareto-both"
+      (Staged.stage (fun () ->
+           ignore (Packing.Problems.pareto_front de ~h_min:16 ~h_max:48);
+           ignore
+             (Packing.Problems.pareto_front
+                Benchmarks.De.instance_without_precedence ~h_min:16 ~h_max:48)))
+  in
+  let t_opp_search =
+    Test.make ~name:"opp/de-17x17x12-search"
+      (Staged.stage (fun () ->
+           ignore
+             (Packing.Opp_solver.solve ~options:search_only de
+                (Geometry.Container.make3 ~w:17 ~h:17 ~t_max:12))))
+  in
+  [ t_table1; t_table2; t_fig7; t_opp_search ]
+
+let run_bechamel () =
+  let open Bechamel in
+  Format.printf "@.== Bechamel timings (monotonic clock per run) ==@.";
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+            Format.printf "  %-28s %12.3f ms/run (r²=%s)@." name
+              (ns /. 1e6)
+              (match Analyze.OLS.r_square est with
+              | Some r -> Printf.sprintf "%.3f" r
+              | None -> "n/a")
+          | _ -> Format.printf "  %-28s (no estimate)@." name)
+        results)
+    (bechamel_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let known =
+    [
+      ("table1", table1);
+      ("table2", table2);
+      ("fig7", fig7);
+      ("ablation-baseline", ablation_baseline);
+      ("ablation-rules", ablation_rules);
+      ("ablation-stages", ablation_stages);
+      ("rect", rect);
+      ("scaling", scaling);
+      ("online", online);
+      ("bechamel", run_bechamel);
+    ]
+  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    if args = [] then List.map fst known
+    else begin
+      List.iter
+        (fun a ->
+          if not (List.mem_assoc a known) then begin
+            Format.eprintf "unknown bench %s; known: %s@." a
+              (String.concat " " (List.map fst known));
+            exit 1
+          end)
+        args;
+      args
+    end
+  in
+  List.iter (fun name -> (List.assoc name known) ()) selected

@@ -1,0 +1,473 @@
+(* fpga_place: command-line front end for the packing-class placement
+   engine. See `fpga_place --help` and the instance format documented in
+   Fpga.Instance_io. *)
+
+open Cmdliner
+
+let read_instance path =
+  try Ok (Fpga.Instance_io.parse_file path) with
+  | Failure msg -> Error msg
+  | Sys_error msg -> Error msg
+
+let chip_conv =
+  let parse s =
+    match String.split_on_char 'x' (String.lowercase_ascii s) with
+    | [ w; h ] -> (
+      match (int_of_string_opt w, int_of_string_opt h) with
+      | Some w, Some h when w > 0 && h > 0 -> Ok (Fpga.Chip.create ~w ~h)
+      | _ -> Error (`Msg "expected WxH with positive integers"))
+    | _ -> Error (`Msg "expected WxH, e.g. 32x32")
+  in
+  let print fmt c = Format.fprintf fmt "%dx%d" (Fpga.Chip.width c) (Fpga.Chip.height c) in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.")
+
+let chip_opt =
+  Arg.(value & opt (some chip_conv) None
+       & info [ "chip" ] ~docv:"WxH" ~doc:"Target chip, overriding the file.")
+
+let time_opt =
+  Arg.(value & opt (some int) None
+       & info [ "time" ] ~docv:"T" ~doc:"Makespan budget, overriding the file.")
+
+let render_flag =
+  Arg.(value & flag & info [ "render" ] ~doc:"Render chip occupancy over time.")
+
+let quiet_flag =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the verdict/optimum.")
+
+let resolve_chip io = function
+  | Some c -> Ok c
+  | None -> (
+    match io.Fpga.Instance_io.chip with
+    | Some c -> Ok c
+    | None -> Error "no chip: pass --chip WxH or add a `chip` line to the file")
+
+let resolve_time io = function
+  | Some t -> Ok t
+  | None -> (
+    match io.Fpga.Instance_io.t_max with
+    | Some t -> Ok t
+    | None -> Error "no time budget: pass --time T or add a `time` line")
+
+let show_placement ~quiet ~render inst chip t_max placement =
+  if not quiet then begin
+    Format.printf "schedule:@.";
+    for i = 0 to Packing.Instance.count inst - 1 do
+      let o = Geometry.Placement.origin placement i in
+      Format.printf "  %-8s at (%d,%d) cycles [%d,%d)@."
+        (Packing.Instance.label inst i)
+        o.(0) o.(1) o.(2)
+        (o.(2) + Packing.Instance.duration inst i)
+    done;
+    Format.printf "%s@." (Geometry.Render.gantt placement);
+    if render then
+      Format.printf "%s@."
+        (Geometry.Render.timeline placement
+           ~container:(Fpga.Chip.container chip ~t_max))
+  end
+
+let err msg =
+  Format.eprintf "error: %s@." msg;
+  1
+
+let svg_opt =
+  Arg.(value & opt (some string) None
+       & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG storyboard of the schedule.")
+
+let write_svg inst chip t_max placement = function
+  | None -> ()
+  | Some path ->
+    let svg =
+      Geometry.Svg.storyboard placement
+        ~container:(Fpga.Chip.container chip ~t_max)
+        ~labels:(Packing.Instance.label inst)
+        ()
+    in
+    let oc = open_out path in
+    output_string oc svg;
+    close_out oc;
+    Format.printf "wrote %s@." path
+
+let solve_cmd =
+  let run file chip time render quiet svg =
+    match read_instance file with
+    | Error msg -> err msg
+    | Ok io -> (
+      match (resolve_chip io chip, resolve_time io time) with
+      | Error msg, _ | _, Error msg -> err msg
+      | Ok chip, Ok t_max -> (
+        let inst = io.Fpga.Instance_io.instance in
+        let container = Fpga.Chip.container chip ~t_max in
+        match Packing.Opp_solver.solve inst container with
+        | Packing.Opp_solver.Feasible p, stats ->
+          Format.printf "feasible on %a within %d cycles (%a)@." Fpga.Chip.pp
+            chip t_max Packing.Opp_solver.pp_stats stats;
+          show_placement ~quiet ~render inst chip t_max p;
+          write_svg inst chip t_max p svg;
+          0
+        | Packing.Opp_solver.Infeasible, stats ->
+          Format.printf "infeasible (%a)@." Packing.Opp_solver.pp_stats stats;
+          2
+        | Packing.Opp_solver.Timeout, _ ->
+          Format.printf "timeout@.";
+          3))
+  in
+  let doc = "Decide feasibility of a placement (FeasAT&FindS)." in
+  Cmd.v (Cmd.info "solve" ~doc)
+    Term.(const run $ file_arg $ chip_opt $ time_opt $ render_flag $ quiet_flag
+          $ svg_opt)
+
+let min_time_cmd =
+  let run file chip render quiet =
+    match read_instance file with
+    | Error msg -> err msg
+    | Ok io -> (
+      match resolve_chip io chip with
+      | Error msg -> err msg
+      | Ok chip -> (
+        let inst = io.Fpga.Instance_io.instance in
+        match
+          Packing.Problems.minimize_time inst ~w:(Fpga.Chip.width chip)
+            ~h:(Fpga.Chip.height chip)
+        with
+        | None ->
+          Format.printf "no makespan works: a task overflows the chip@.";
+          2
+        | Some { Packing.Problems.value; placement } ->
+          Format.printf "minimal makespan on %a: %d cycles@." Fpga.Chip.pp chip
+            value;
+          show_placement ~quiet ~render inst chip value placement;
+          0))
+  in
+  let doc = "Minimize the makespan on a fixed chip (MinT&FindS / SPP)." in
+  Cmd.v (Cmd.info "min-time" ~doc)
+    Term.(const run $ file_arg $ chip_opt $ render_flag $ quiet_flag)
+
+let min_area_cmd =
+  let run file time render quiet =
+    match read_instance file with
+    | Error msg -> err msg
+    | Ok io -> (
+      match resolve_time io time with
+      | Error msg -> err msg
+      | Ok t_max -> (
+        let inst = io.Fpga.Instance_io.instance in
+        match Packing.Problems.minimize_base inst ~t_max with
+        | None ->
+          Format.printf
+            "no chip works: the critical path exceeds %d cycles@." t_max;
+          2
+        | Some { Packing.Problems.value; placement } ->
+          Format.printf "minimal chip for %d cycles: %dx%d@." t_max value value;
+          show_placement ~quiet ~render inst (Fpga.Chip.square value) t_max
+            placement;
+          0))
+  in
+  let doc = "Minimize a quadratic chip for a time budget (MinA&FindS / BMP)." in
+  Cmd.v (Cmd.info "min-area" ~doc)
+    Term.(const run $ file_arg $ time_opt $ render_flag $ quiet_flag)
+
+let pareto_cmd =
+  let h_min_arg =
+    Arg.(value & opt int 1 & info [ "h-min" ] ~docv:"H" ~doc:"Smallest chip size.")
+  in
+  let h_max_arg =
+    Arg.(required & opt (some int) None
+         & info [ "h-max" ] ~docv:"H" ~doc:"Largest chip size.")
+  in
+  let no_prec =
+    Arg.(value & flag
+         & info [ "no-precedence" ]
+             ~doc:"Drop the precedence constraints (dashed curve of Fig. 7).")
+  in
+  let run file h_min h_max no_prec =
+    match read_instance file with
+    | Error msg -> err msg
+    | Ok io ->
+      let inst = io.Fpga.Instance_io.instance in
+      let inst =
+        if no_prec then Packing.Instance.without_precedence inst else inst
+      in
+      let front = Packing.Problems.pareto_front inst ~h_min ~h_max in
+      Format.printf "chip  makespan@.";
+      List.iter (fun (h, t) -> Format.printf "%dx%d  %d@." h h t) front;
+      0
+  in
+  let doc = "Compute the chip-size/makespan Pareto front (paper Fig. 7)." in
+  Cmd.v (Cmd.info "pareto" ~doc)
+    Term.(const run $ file_arg $ h_min_arg $ h_max_arg $ no_prec)
+
+let simulate_cmd =
+  let run file chip time =
+    match read_instance file with
+    | Error msg -> err msg
+    | Ok io -> (
+      match (resolve_chip io chip, resolve_time io time) with
+      | Error msg, _ | _, Error msg -> err msg
+      | Ok chip, Ok t_max -> (
+        let inst = io.Fpga.Instance_io.instance in
+        let container = Fpga.Chip.container chip ~t_max in
+        match Packing.Opp_solver.solve inst container with
+        | Packing.Opp_solver.Feasible p, _ ->
+          let report = Fpga.Simulator.run inst p ~chip in
+          Format.printf "%a@." Fpga.Simulator.pp_report report;
+          if report.Fpga.Simulator.ok then 0 else 2
+        | Packing.Opp_solver.Infeasible, _ ->
+          Format.printf "infeasible: nothing to simulate@.";
+          2
+        | Packing.Opp_solver.Timeout, _ ->
+          Format.printf "timeout@.";
+          3))
+  in
+  let doc = "Solve, then replay the placement on the chip simulator." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ file_arg $ chip_opt $ time_opt)
+
+let check_cmd =
+  let schedule_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"SCHEDULE" ~doc:"Schedule file (start/place lines).")
+  in
+  let run file schedule_file chip time render quiet =
+    match read_instance file with
+    | Error msg -> err msg
+    | Ok io -> (
+      match (resolve_chip io chip, resolve_time io time) with
+      | Error msg, _ | _, Error msg -> err msg
+      | Ok chip, Ok t_max -> (
+        let inst = io.Fpga.Instance_io.instance in
+        match
+          let ic = open_in schedule_file in
+          let len = in_channel_length ic in
+          let text = really_input_string ic len in
+          close_in ic;
+          Fpga.Schedule_io.parse inst text
+        with
+        | exception Failure msg -> err msg
+        | exception Sys_error msg -> err msg
+        | entries -> (
+          (* Fully positioned schedules are validated directly; start
+             times alone go through the FixedS solver. *)
+          match Fpga.Schedule_io.placement_of inst entries with
+          | Some p ->
+            let container = Fpga.Chip.container chip ~t_max in
+            let violations =
+              Geometry.Placement.check p ~container
+                ~precedes:(Packing.Instance.precedes inst)
+            in
+            if violations = [] then begin
+              Format.printf "placement is feasible@.";
+              show_placement ~quiet ~render inst chip t_max p;
+              0
+            end
+            else begin
+              List.iter
+                (Format.printf "violation: %a@." Geometry.Placement.pp_violation)
+                violations;
+              2
+            end
+          | None -> (
+            match
+              Fpga.Schedule_io.schedule_array inst entries
+            with
+            | exception Failure msg -> err msg
+            | schedule -> (
+              match
+                Packing.Problems.feasible_fixed_schedule inst
+                  ~w:(Fpga.Chip.width chip) ~h:(Fpga.Chip.height chip) ~t_max
+                  ~schedule
+              with
+              | Some p ->
+                Format.printf "schedule is realizable@.";
+                show_placement ~quiet ~render inst chip t_max p;
+                0
+              | None ->
+                Format.printf "schedule is NOT realizable on %a within %d \
+                               cycles@."
+                  Fpga.Chip.pp chip t_max;
+                2)))))
+  in
+  let doc =
+    "Check a schedule file against a chip (FeasA&FixedS); `place` lines are \
+     validated geometrically, `start` lines trigger the 2D placement search."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ file_arg $ schedule_arg $ chip_opt $ time_opt
+          $ render_flag $ quiet_flag)
+
+let bounds_cmd =
+  let run file chip time =
+    match read_instance file with
+    | Error msg -> err msg
+    | Ok io -> (
+      match (resolve_chip io chip, resolve_time io time) with
+      | Error msg, _ | _, Error msg -> err msg
+      | Ok chip, Ok t_max ->
+        let inst = io.Fpga.Instance_io.instance in
+        let container = Fpga.Chip.container chip ~t_max in
+        Format.printf "volume: %d of %d cells-cycles@."
+          (Packing.Instance.total_volume inst)
+          (Geometry.Container.volume container);
+        Format.printf "critical path: %d of %d cycles@."
+          (Packing.Instance.critical_path inst)
+          t_max;
+        Format.printf "spatial exclusion duration: %d cycles@."
+          (Packing.Bounds.exclusion_duration inst container);
+        (match Packing.Bounds.dff_volume_exceeded inst container with
+        | Some certificate -> Format.printf "DFF overflow: %s@." certificate
+        | None -> Format.printf "DFF bounds: silent@.");
+        (match Packing.Bounds.check inst container with
+        | Packing.Bounds.Infeasible reason ->
+          Format.printf "verdict: infeasible (%s)@." reason;
+          2
+        | Packing.Bounds.Unknown ->
+          Format.printf "verdict: bounds are silent, a search is needed@.";
+          0))
+  in
+  let doc = "Evaluate the stage-1 lower bounds without searching." in
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Term.(const run $ file_arg $ chip_opt $ time_opt)
+
+let knapsack_cmd =
+  let run file chip time =
+    match read_instance file with
+    | Error msg -> err msg
+    | Ok io -> (
+      match (resolve_chip io chip, resolve_time io time) with
+      | Error msg, _ | _, Error msg -> err msg
+      | Ok chip, Ok t_max -> (
+        let inst = io.Fpga.Instance_io.instance in
+        let container = Fpga.Chip.container chip ~t_max in
+        (* Value = computation volume: prefer keeping the heavy work. *)
+        let value i = Geometry.Box.volume (Packing.Instance.box inst i) in
+        match Packing.Knapsack.solve inst container ~value with
+        | None ->
+          Format.printf "no non-empty selection fits@.";
+          2
+        | Some { Packing.Knapsack.value; selected; _ } ->
+          Format.printf "best selection (value %d):" value;
+          List.iter
+            (fun i -> Format.printf " %s" (Packing.Instance.label inst i))
+            selected;
+          Format.printf "@.";
+          0))
+  in
+  let doc =
+    "Select the most valuable packable subset of tasks (orthogonal knapsack)."
+  in
+  Cmd.v (Cmd.info "knapsack" ~doc)
+    Term.(const run $ file_arg $ chip_opt $ time_opt)
+
+let vcd_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the VCD here.")
+  in
+  let run file chip time out =
+    match read_instance file with
+    | Error msg -> err msg
+    | Ok io -> (
+      match (resolve_chip io chip, resolve_time io time) with
+      | Error msg, _ | _, Error msg -> err msg
+      | Ok chip, Ok t_max -> (
+        let inst = io.Fpga.Instance_io.instance in
+        let container = Fpga.Chip.container chip ~t_max in
+        match Packing.Opp_solver.solve inst container with
+        | Packing.Opp_solver.Feasible p, _ ->
+          let vcd = Fpga.Vcd.of_placement inst p ~chip () in
+          (match out with
+          | None -> print_string vcd
+          | Some path ->
+            let oc = open_out path in
+            output_string oc vcd;
+            close_out oc;
+            Format.printf "wrote %s@." path);
+          0
+        | Packing.Opp_solver.Infeasible, _ ->
+          Format.printf "infeasible: nothing to dump@.";
+          2
+        | Packing.Opp_solver.Timeout, _ ->
+          Format.printf "timeout@.";
+          3))
+  in
+  let doc = "Solve, then dump the schedule as a VCD waveform." in
+  Cmd.v (Cmd.info "vcd" ~doc)
+    Term.(const run $ file_arg $ chip_opt $ time_opt $ out_arg)
+
+let ilp_cmd =
+  let emit_flag =
+    Arg.(value & flag & info [ "emit" ] ~doc:"Print the LP model itself.")
+  in
+  let run file chip time emit =
+    match read_instance file with
+    | Error msg -> err msg
+    | Ok io -> (
+      match (resolve_chip io chip, resolve_time io time) with
+      | Error msg, _ | _, Error msg -> err msg
+      | Ok chip, Ok t_max ->
+        let inst = io.Fpga.Instance_io.instance in
+        let container = Fpga.Chip.container chip ~t_max in
+        let size = Baseline.Ilp_model.size_of inst container in
+        Format.printf "grid 0-1 model: %a@." Baseline.Ilp_model.pp_size size;
+        if emit then print_string (Baseline.Ilp_model.to_lp inst container);
+        0)
+  in
+  let doc =
+    "Show (or emit) the grid-indexed 0-1 ILP model the paper argues against."
+  in
+  Cmd.v (Cmd.info "ilp" ~doc)
+    Term.(const run $ file_arg $ chip_opt $ time_opt $ emit_flag)
+
+let export_cmd =
+  let which =
+    Arg.(required & pos 0 (some (enum [ ("de", `De); ("codec", `Codec) ])) None
+         & info [] ~docv:"NAME" ~doc:"Benchmark name: de or codec.")
+  in
+  let run which =
+    let io =
+      match which with
+      | `De ->
+        {
+          Fpga.Instance_io.instance = Benchmarks.De.instance;
+          chip = Some (Fpga.Chip.square 32);
+          t_max = Some 14;
+        }
+      | `Codec ->
+        {
+          Fpga.Instance_io.instance = Benchmarks.Video_codec.instance;
+          chip = Some (Fpga.Chip.square 64);
+          t_max = Some 59;
+        }
+    in
+    print_string (Fpga.Instance_io.print io);
+    0
+  in
+  let doc = "Print a built-in benchmark in the instance format." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ which)
+
+let () =
+  let doc =
+    "Optimal FPGA module placement with temporal precedence constraints \
+     (packing-class branch and bound, after Fekete, Köhler and Teich, DATE \
+     2001)."
+  in
+  let info = Cmd.info "fpga_place" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            solve_cmd;
+            check_cmd;
+            min_time_cmd;
+            min_area_cmd;
+            pareto_cmd;
+            simulate_cmd;
+            bounds_cmd;
+            knapsack_cmd;
+            vcd_cmd;
+            ilp_cmd;
+            export_cmd;
+          ]))

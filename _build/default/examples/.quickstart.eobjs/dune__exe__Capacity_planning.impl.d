@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Baseline Benchmarks Format Fpga Geometry List Packing

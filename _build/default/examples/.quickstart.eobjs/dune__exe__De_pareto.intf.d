@@ -1,0 +1,1 @@
+examples/de_pareto.mli:

@@ -1,0 +1,1 @@
+examples/fixed_schedule.ml: Array Benchmarks Format Geometry Order Packing

@@ -1,0 +1,1 @@
+examples/online_reconfig.ml: Benchmarks Format Fpga List Packing

@@ -1,0 +1,1 @@
+examples/random_sweep.ml: Baseline Benchmarks Format Geometry Packing

@@ -1,0 +1,1 @@
+examples/video_codec.ml: Benchmarks Format Fpga Geometry Packing

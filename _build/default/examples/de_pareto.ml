@@ -1,0 +1,37 @@
+(* The DE benchmark (paper Sec. 5.1): reproduce Table 1 and the
+   Pareto fronts of Fig. 7, with and without precedence constraints.
+
+   Run with: dune exec examples/de_pareto.exe *)
+
+let () =
+  let de = Benchmarks.De.instance in
+  Format.printf "%a@.@." Packing.Instance.pp de;
+
+  (* Table 1: minimal quadratic chip for three time budgets. *)
+  Format.printf "Table 1 (BMP, MinA&FindS):@.";
+  Format.printf "  T    chip     paper@.";
+  List.iter
+    (fun (t_max, expected) ->
+      match Packing.Problems.minimize_base de ~t_max with
+      | None -> Format.printf "  %-4d impossible@." t_max
+      | Some { Packing.Problems.value; _ } ->
+        Format.printf "  %-4d %dx%-5d %dx%d@." t_max value value expected
+          expected)
+    Benchmarks.De.table1;
+
+  (* Fig. 7: Pareto-optimal (chip, time) points. *)
+  let show_front label inst =
+    let front = Packing.Problems.pareto_front inst ~h_min:16 ~h_max:48 in
+    Format.printf "@.%s:@." label;
+    List.iter (fun (h, t) -> Format.printf "  %2dx%-2d -> %d cycles@." h h t) front
+  in
+  show_front "Pareto front with precedence (Fig. 7, solid)" de;
+  show_front "Pareto front without precedence (Fig. 7, dashed)"
+    Benchmarks.De.instance_without_precedence;
+
+  (* Show one optimal schedule at the sweet spot. *)
+  match Packing.Problems.minimize_time de ~w:32 ~h:32 with
+  | None -> ()
+  | Some { Packing.Problems.value; placement } ->
+    Format.printf "@.An optimal %d-cycle schedule on 32x32:@.%s@." value
+      (Geometry.Render.gantt placement)

@@ -1,0 +1,55 @@
+(* Online vs. compile-time placement: the paper's motivating contrast
+   (Sec. 1). Tasks of the DE benchmark "arrive" at run time and a greedy
+   online manager places them (optionally compacting the chip when an
+   arrival does not fit); the exact compile-time optimum from the
+   packing-class solver shows what static optimization buys.
+
+   Run with: dune exec examples/online_reconfig.exe *)
+
+let () =
+  let de = Benchmarks.De.instance in
+  let chip = Fpga.Chip.square 32 in
+
+  (* Everything is ready at time 0 (the data dependencies still gate the
+     actual start times). *)
+  let arrivals =
+    List.init (Packing.Instance.count de) (fun i ->
+        { Fpga.Online.task = i; arrival_time = 0 })
+  in
+  let show label r =
+    Format.printf "%-24s makespan %2d, placed %d, compactions %d@." label
+      r.Fpga.Online.makespan r.Fpga.Online.placed r.Fpga.Online.compactions
+  in
+  show "online, no compaction"
+    (Fpga.Online.run de arrivals ~chip ~compaction:false ~move_delay:0);
+  show "online, with compaction"
+    (Fpga.Online.run de arrivals ~chip ~compaction:true ~move_delay:1);
+
+  (match Packing.Problems.minimize_time de ~w:32 ~h:32 with
+  | Some { Packing.Problems.value; _ } ->
+    Format.printf "%-24s makespan %2d (exact optimum)@." "compile-time (ours)"
+      value
+  | None -> ());
+
+  (* Staggered arrivals stress the manager: the heavy multipliers show
+     up late. *)
+  Format.printf "@.staggered arrivals (multipliers late):@.";
+  let staggered =
+    List.init (Packing.Instance.count de) (fun i ->
+        let late = Packing.Instance.extent de i 1 = 16 in
+        { Fpga.Online.task = i; arrival_time = (if late then 4 else 0) })
+  in
+  let r = Fpga.Online.run de staggered ~chip ~compaction:true ~move_delay:1 in
+  show "online, staggered" r;
+  List.iter
+    (fun e ->
+      match e with
+      | Fpga.Online.Placed { task; x; y; time } ->
+        Format.printf "  t=%-3d place %-4s at (%d,%d)@." time
+          (Packing.Instance.label de task)
+          x y
+      | Fpga.Online.Compacted { moved; time } ->
+        Format.printf "  t=%-3d compact, moved %d tasks@." time
+          (List.length moved)
+      | Fpga.Online.Deferred _ | Fpga.Online.Rejected _ -> ())
+    r.Fpga.Online.events

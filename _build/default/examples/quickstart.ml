@@ -1,0 +1,42 @@
+(* Quickstart: define four tasks with a data dependency, find the
+   fastest schedule on an 8x8 chip, and render the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* Tasks are boxes: spatial cells x cells, and a duration in cycles.
+     Task 2 needs the results of tasks 0 and 1. *)
+  let boxes =
+    [|
+      Geometry.Box.make3 ~w:4 ~h:4 ~duration:3 (* 0: producer A *);
+      Geometry.Box.make3 ~w:4 ~h:4 ~duration:2 (* 1: producer B *);
+      Geometry.Box.make3 ~w:8 ~h:4 ~duration:2 (* 2: consumer   *);
+      Geometry.Box.make3 ~w:2 ~h:2 ~duration:5 (* 3: independent *);
+    |]
+  in
+  let instance =
+    Packing.Instance.make ~name:"quickstart"
+      ~labels:[| "prodA"; "prodB"; "sum"; "mon" |]
+      ~precedence:[ (0, 2); (1, 2) ]
+      ~boxes ()
+  in
+
+  (* Minimize the makespan on a fixed 8x8 chip (the paper's MinT&FindS). *)
+  let chip = Fpga.Chip.create ~w:8 ~h:8 in
+  match Packing.Problems.minimize_time instance ~w:8 ~h:8 with
+  | None -> print_endline "some task does not fit the chip"
+  | Some { Packing.Problems.value = makespan; placement } ->
+    Format.printf "optimal makespan on %a: %d cycles@.@." Fpga.Chip.pp chip
+      makespan;
+    Format.printf "%s@." (Geometry.Render.gantt placement);
+    Format.printf "%s@."
+      (Geometry.Render.timeline placement
+         ~container:(Fpga.Chip.container chip ~t_max:makespan));
+
+    (* Replay the schedule on the architecture simulator: validates cell
+       occupancy and data hand-over, and reports platform statistics. *)
+    let report = Fpga.Simulator.run instance placement ~chip in
+    Format.printf "simulator: %s, utilization %.1f%%, peak memory %d words@."
+      (if report.Fpga.Simulator.ok then "ok" else "INVALID")
+      (100.0 *. report.Fpga.Simulator.utilization)
+      report.Fpga.Simulator.peak_memory_words

@@ -1,0 +1,44 @@
+(* The H.261 video-codec benchmark (paper Sec. 5.2): reproduce Table 2
+   (the single Pareto point 64x64 / 59 cycles) and inspect the optimal
+   schedule on the simulator.
+
+   Run with: dune exec examples/video_codec.exe *)
+
+let () =
+  let codec = Benchmarks.Video_codec.instance in
+  Format.printf "%a@.@." Packing.Instance.pp codec;
+  Format.printf "critical path: %d cycles@.@." (Packing.Instance.critical_path codec);
+
+  (* Table 2: the BMP at the minimal latency. *)
+  let h_expected, t_expected = Benchmarks.Video_codec.table2 in
+  (match Packing.Problems.minimize_base codec ~t_max:t_expected with
+  | None -> Format.printf "BMP at T=%d: impossible?!@." t_expected
+  | Some { Packing.Problems.value; _ } ->
+    Format.printf "Table 2 (BMP at T=%d): chip %dx%d (paper: %dx%d)@."
+      t_expected value value h_expected h_expected);
+
+  (* No faster schedule exists, and no smaller chip works at any time
+     budget: the block-matching module spans the whole chip. *)
+  (match Packing.Problems.minimize_time codec ~w:64 ~h:64 with
+  | None -> ()
+  | Some { Packing.Problems.value; placement } ->
+    Format.printf "SPP on 64x64: %d cycles (paper: %d)@.@." value t_expected;
+    Format.printf "%s@." (Geometry.Render.gantt placement);
+    let report =
+      Fpga.Simulator.run codec placement ~chip:(Fpga.Chip.square 64)
+    in
+    Format.printf
+      "simulator: %s, %d reconfigurations, %d bus words, peak memory %d \
+       words, utilization %.1f%%@."
+      (if report.Fpga.Simulator.ok then "ok" else "INVALID")
+      report.Fpga.Simulator.reconfigurations report.Fpga.Simulator.bus_words
+      report.Fpga.Simulator.peak_memory_words
+      (100.0 *. report.Fpga.Simulator.utilization));
+
+  match
+    Packing.Opp_solver.solve codec
+      (Geometry.Container.make3 ~w:63 ~h:63 ~t_max:200)
+  with
+  | Packing.Opp_solver.Infeasible, _ ->
+    Format.printf "63x63 is infeasible at any latency, as the paper notes.@."
+  | _ -> Format.printf "unexpected: 63x63 feasible?@."

@@ -1,0 +1,1 @@
+lib/baseline/geometric_bb.ml: Array Fun Geometry List Order Packing

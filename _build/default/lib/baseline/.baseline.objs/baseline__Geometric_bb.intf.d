@@ -1,0 +1,1 @@
+lib/baseline/geometric_bb.mli: Geometry Packing

@@ -1,0 +1,1 @@
+lib/baseline/ilp_model.ml: Array Buffer Format Geometry List Order Packing Printf

@@ -1,0 +1,1 @@
+lib/baseline/ilp_model.mli: Format Geometry Packing

@@ -1,0 +1,131 @@
+module Box = Geometry.Box
+module Container = Geometry.Container
+module Placement = Geometry.Placement
+module PO = Order.Partial_order
+
+type outcome =
+  | Feasible of Geometry.Placement.t
+  | Infeasible
+  | Timeout
+
+type stats = {
+  nodes : int;
+  positions_tried : int;
+}
+
+(* All subset sums of the box extents along one axis, capped by the
+   container extent — the normal positions. *)
+let normal_positions inst ~axis ~cap =
+  let reachable = Array.make (cap + 1) false in
+  reachable.(0) <- true;
+  for i = 0 to Packing.Instance.count inst - 1 do
+    let e = Packing.Instance.extent inst i axis in
+    for s = cap downto 0 do
+      if reachable.(s) && s + e <= cap then reachable.(s + e) <- true
+    done
+  done;
+  let acc = ref [] in
+  for s = cap downto 0 do
+    if reachable.(s) then acc := s :: !acc
+  done;
+  !acc
+
+exception Done of Placement.t
+exception Limit
+
+let solve ?node_limit inst cont =
+  let n = Packing.Instance.count inst in
+  let d = Packing.Instance.dim inst in
+  if d <> 3 then invalid_arg "Geometric_bb.solve: expects 3 dimensions";
+  let nodes = ref 0 and positions = ref 0 in
+  let p = Packing.Instance.precedence inst in
+  let order =
+    (* Topological order of the precedence DAG; incomparable tasks by
+       decreasing volume (harder first). *)
+    let base = List.init n Fun.id in
+    let vol i = Box.volume (Packing.Instance.box inst i) in
+    let cmp a b =
+      if PO.precedes p a b then -1
+      else if PO.precedes p b a then 1
+      else compare (vol b, a) (vol a, b)
+    in
+    List.stable_sort cmp base
+  in
+  let positions_for axis =
+    normal_positions inst ~axis ~cap:(Container.extent cont axis)
+  in
+  let xs = positions_for 0 and ys = positions_for 1 and ts = positions_for 2 in
+  let placed_origin = Array.make n [||] in
+  let placed = Array.make n false in
+  let overlaps i (x, y, t) j =
+    let o = placed_origin.(j) in
+    let e k task = Packing.Instance.extent inst task k in
+    x < o.(0) + e 0 j
+    && o.(0) < x + e 0 i
+    && y < o.(1) + e 1 j
+    && o.(1) < y + e 1 i
+    && t < o.(2) + e 2 j
+    && o.(2) < t + e 2 i
+  in
+  let check_limit () =
+    match node_limit with
+    | Some limit when !nodes + !positions > limit -> raise Limit
+    | _ -> ()
+  in
+  let rec go = function
+    | [] ->
+      let placement =
+        Placement.make (Packing.Instance.boxes inst) (Array.copy placed_origin)
+      in
+      if
+        Placement.is_feasible placement ~container:cont
+          ~precedes:(Packing.Instance.precedes inst)
+      then raise (Done placement)
+    | i :: rest ->
+      incr nodes;
+      check_limit ();
+      let earliest =
+        List.fold_left
+          (fun acc j ->
+            if placed.(j) && PO.precedes p j i then
+              max acc (placed_origin.(j).(2) + Packing.Instance.duration inst j)
+            else acc)
+          0 (List.init n Fun.id)
+      in
+      let w = Packing.Instance.extent inst i 0
+      and h = Packing.Instance.extent inst i 1
+      and dur = Packing.Instance.duration inst i in
+      List.iter
+        (fun t ->
+          if t >= earliest && t + dur <= Container.extent cont 2 then
+            List.iter
+              (fun y ->
+                if y + h <= Container.extent cont 1 then
+                  List.iter
+                    (fun x ->
+                      if x + w <= Container.extent cont 0 then begin
+                        incr positions;
+                        if !positions land 0xfff = 0 then check_limit ();
+                        let free = ref true in
+                        for j = 0 to n - 1 do
+                          if placed.(j) && overlaps i (x, y, t) j then
+                            free := false
+                        done;
+                        if !free then begin
+                          placed_origin.(i) <- [| x; y; t |];
+                          placed.(i) <- true;
+                          go rest;
+                          placed.(i) <- false
+                        end
+                      end)
+                    xs)
+              ys)
+        ts
+  in
+  let finish outcome = (outcome, { nodes = !nodes; positions_tried = !positions }) in
+  try
+    go order;
+    finish Infeasible
+  with
+  | Done placement -> finish (Feasible placement)
+  | Limit -> finish Timeout

@@ -1,0 +1,138 @@
+module Container = Geometry.Container
+module Instance = Packing.Instance
+
+type size = {
+  variables : int;
+  dense_variables : int;
+  assignment_constraints : int;
+  capacity_constraints : int;
+  precedence_constraints : int;
+}
+
+let anchors inst cont i =
+  let xs = Container.extent cont 0 - Instance.extent inst i 0 + 1 in
+  let ys = Container.extent cont 1 - Instance.extent inst i 1 + 1 in
+  let ts = Container.extent cont 2 - Instance.duration inst i + 1 in
+  if xs <= 0 || ys <= 0 || ts <= 0 then 0 else xs * ys * ts
+
+let size_of inst cont =
+  if Instance.dim inst <> 3 then invalid_arg "Ilp_model: expects 3 dimensions";
+  let n = Instance.count inst in
+  let variables = ref 0 in
+  for i = 0 to n - 1 do
+    variables := !variables + anchors inst cont i
+  done;
+  let cells = Container.volume cont in
+  {
+    variables = !variables;
+    dense_variables = n * cells;
+    assignment_constraints = n;
+    capacity_constraints = cells;
+    precedence_constraints =
+      List.length (Order.Partial_order.relations (Instance.precedence inst));
+  }
+
+let iter_anchors inst cont i f =
+  let w = Instance.extent inst i 0
+  and h = Instance.extent inst i 1
+  and d = Instance.duration inst i in
+  for x = 0 to Container.extent cont 0 - w do
+    for y = 0 to Container.extent cont 1 - h do
+      for t = 0 to Container.extent cont 2 - d do
+        f ~x ~y ~t
+      done
+    done
+  done
+
+let var_name i ~x ~y ~t = Printf.sprintf "p_%d_%d_%d_%d" i x y t
+
+let covers inst i ~x ~y ~t ~cx ~cy ~ct =
+  cx >= x
+  && cx < x + Instance.extent inst i 0
+  && cy >= y
+  && cy < y + Instance.extent inst i 1
+  && ct >= t
+  && ct < t + Instance.duration inst i
+
+let to_lp inst cont =
+  let n = Instance.count inst in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "\\ grid-indexed 0-1 placement model\nMinimize\n obj: 0\nSubject To\n";
+  (* Assignment: every module placed exactly once. *)
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf " assign_%d:" i);
+    iter_anchors inst cont i (fun ~x ~y ~t ->
+        Buffer.add_string buf (" + " ^ var_name i ~x ~y ~t));
+    Buffer.add_string buf " = 1\n"
+  done;
+  (* Capacity: each cell-cycle used at most once. *)
+  for cx = 0 to Container.extent cont 0 - 1 do
+    for cy = 0 to Container.extent cont 1 - 1 do
+      for ct = 0 to Container.extent cont 2 - 1 do
+        let terms = Buffer.create 64 in
+        for i = 0 to n - 1 do
+          iter_anchors inst cont i (fun ~x ~y ~t ->
+              if covers inst i ~x ~y ~t ~cx ~cy ~ct then
+                Buffer.add_string terms (" + " ^ var_name i ~x ~y ~t))
+        done;
+        if Buffer.length terms > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf " cap_%d_%d_%d:%s <= 1\n" cx cy ct
+               (Buffer.contents terms))
+      done
+    done
+  done;
+  (* Precedence: finish(u) <= start(v) expressed on start-time sums. *)
+  List.iter
+    (fun (u, v) ->
+      Buffer.add_string buf (Printf.sprintf " prec_%d_%d:" u v);
+      iter_anchors inst cont u (fun ~x ~y ~t ->
+          Buffer.add_string buf
+            (Printf.sprintf " + %d %s" t (var_name u ~x ~y ~t)));
+      iter_anchors inst cont v (fun ~x ~y ~t ->
+          Buffer.add_string buf
+            (Printf.sprintf " - %d %s" t (var_name v ~x ~y ~t)));
+      Buffer.add_string buf
+        (Printf.sprintf " <= -%d\n" (Instance.duration inst u)))
+    (Order.Partial_order.relations (Instance.precedence inst));
+  Buffer.add_string buf "Binary\n";
+  for i = 0 to n - 1 do
+    iter_anchors inst cont i (fun ~x ~y ~t ->
+        Buffer.add_string buf (" " ^ var_name i ~x ~y ~t ^ "\n"))
+  done;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+let solve_tiny inst cont ~variable_limit =
+  let s = size_of inst cont in
+  if s.variables > variable_limit then None
+  else begin
+    let n = Instance.count inst in
+    let anchor_list i =
+      let acc = ref [] in
+      iter_anchors inst cont i (fun ~x ~y ~t -> acc := [| x; y; t |] :: !acc);
+      List.rev !acc
+    in
+    let anchor_arrays = Array.init n anchor_list in
+    let chosen = Array.make n [| 0; 0; 0 |] in
+    let rec go i =
+      if i = n then
+        Geometry.Placement.is_feasible
+          (Geometry.Placement.make (Instance.boxes inst) (Array.map Array.copy chosen))
+          ~container:cont ~precedes:(Instance.precedes inst)
+      else
+        List.exists
+          (fun a ->
+            chosen.(i) <- a;
+            go (i + 1))
+          anchor_arrays.(i)
+    in
+    Some (go 0)
+  end
+
+let pp_size fmt s =
+  Format.fprintf fmt
+    "%d variables (dense: %d), %d assignment + %d capacity + %d precedence \
+     constraints"
+    s.variables s.dense_variables s.assignment_constraints
+    s.capacity_constraints s.precedence_constraints

@@ -1,0 +1,47 @@
+(** The grid-indexed 0-1 ILP formulation the paper argues against.
+
+    Following Beasley-style exact models ([2] in the paper), placement
+    of module [i] at position [(x, y)] and start time [t] is a 0-1
+    variable [p_{i,x,y,t}]; assignment constraints force one position
+    per module, and capacity constraints forbid two modules on one cell
+    in one cycle. The paper's point (Sec. 1) is that this needs
+    [n * X * Y * T] variables and [X * Y * T] capacity constraints,
+    which is hopeless at FPGA scale ("solving a three-dimensional
+    problem with about 32^3 nodes is hopeless").
+
+    This module reproduces that argument quantitatively: it builds the
+    model {e size} analytically, can emit the full model in LP format
+    for small instances, and solves truly tiny models by exhaustive
+    enumeration (as a correctness cross-check). *)
+
+type size = {
+  variables : int; (** placement variables (feasible anchors only) *)
+  dense_variables : int; (** the paper's n * X * Y * T count *)
+  assignment_constraints : int;
+  capacity_constraints : int;
+  precedence_constraints : int;
+}
+
+(** [size_of instance container] computes the model size. [variables]
+    counts only anchors where the module fits the container (the
+    tightest reasonable formulation); [dense_variables] is the naive
+    grid product quoted by the paper. *)
+val size_of : Packing.Instance.t -> Geometry.Container.t -> size
+
+(** [to_lp instance container] renders the model in LP format (CPLEX
+    dialect). Intended for small instances; the output grows with the
+    variable count. *)
+val to_lp : Packing.Instance.t -> Geometry.Container.t -> string
+
+(** [solve_tiny instance container ~variable_limit] decides feasibility
+    by exhaustive enumeration over anchor combinations, refusing
+    (returning [None]) when the model exceeds [variable_limit]
+    variables. Exact on the instances it accepts — used to cross-check
+    the packing solver in tests. *)
+val solve_tiny :
+  Packing.Instance.t ->
+  Geometry.Container.t ->
+  variable_limit:int ->
+  bool option
+
+val pp_size : Format.formatter -> size -> unit

@@ -1,0 +1,1 @@
+lib/benchmarks/de.ml: Fpga Packing

@@ -1,0 +1,1 @@
+lib/benchmarks/de.mli: Fpga Packing

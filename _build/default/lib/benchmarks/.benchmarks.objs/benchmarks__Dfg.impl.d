@@ -1,0 +1,1 @@
+lib/benchmarks/dfg.ml: Array Geometry List Packing Printf

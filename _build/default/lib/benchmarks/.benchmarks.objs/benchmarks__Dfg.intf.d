@@ -1,0 +1,1 @@
+lib/benchmarks/dfg.mli: Packing

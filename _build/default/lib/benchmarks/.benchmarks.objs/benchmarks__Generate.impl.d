@@ -1,0 +1,1 @@
+lib/benchmarks/generate.ml: Array Fun Geometry List Packing Printf Random

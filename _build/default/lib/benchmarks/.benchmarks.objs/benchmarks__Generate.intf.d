@@ -1,0 +1,1 @@
+lib/benchmarks/generate.mli: Geometry Packing

@@ -1,0 +1,1 @@
+lib/benchmarks/video_codec.ml: Array Fpga Geometry List Packing

@@ -1,0 +1,1 @@
+lib/benchmarks/video_codec.mli: Fpga Packing

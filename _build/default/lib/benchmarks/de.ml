@@ -1,0 +1,45 @@
+let library =
+  Fpga.Module_library.create
+    [
+      {
+        Fpga.Module_library.type_name = "MUL";
+        width = 16;
+        height = 16;
+        exec_time = 2;
+        reconfig_time = 0;
+      };
+      {
+        Fpga.Module_library.type_name = "ALU";
+        width = 16;
+        height = 1;
+        exec_time = 1;
+        reconfig_time = 0;
+      };
+    ]
+
+(* Task indices 0..10 are v1..v11. *)
+let tasks =
+  [
+    ("v1", "MUL");
+    ("v2", "MUL");
+    ("v3", "MUL");
+    ("v4", "ALU");
+    ("v5", "ALU");
+    ("v6", "MUL");
+    ("v7", "MUL");
+    ("v8", "MUL");
+    ("v9", "ALU");
+    ("v10", "ALU");
+    ("v11", "ALU");
+  ]
+
+let arcs =
+  [ (0, 2); (1, 2); (2, 3); (3, 4); (5, 6); (6, 4); (7, 8); (9, 10) ]
+
+let instance =
+  let boxes, labels = Fpga.Module_library.instantiate library ~tasks in
+  Packing.Instance.make ~name:"DE" ~labels ~precedence:arcs ~boxes ()
+
+let instance_without_precedence = Packing.Instance.without_precedence instance
+
+let table1 = [ (6, 32); (13, 17); (14, 16) ]

@@ -1,0 +1,43 @@
+(** The DE benchmark (paper Sec. 5.1): the classical HAL/diffeq
+    data-flow graph — a numerical integration step for the differential
+    equation [y'' + 3xy' + 3y = 0] — with 11 operation nodes mapped onto
+    two hardware module types.
+
+    Module library (word length 16 bit): an array multiplier of
+    [16 x 16] cells executing in 2 clock cycles, and an ALU of [16 x 1]
+    cells executing in 1 cycle that realizes all other operations
+    (addition, subtraction, comparison).
+
+    The dependency graph (paper Fig. 2):
+
+    {v
+    v1 = 3 * x     MUL        v1 -> v3
+    v2 = u * dx    MUL        v2 -> v3
+    v3 = v1 * v2   MUL        v3 -> v4
+    v4 = u - v3    SUB (ALU)  v4 -> v5
+    v5 = v4 - v7   SUB (ALU)
+    v6 = 3 * y     MUL        v6 -> v7
+    v7 = v6 * dx   MUL        v7 -> v5
+    v8 = u * dx    MUL        v8 -> v9
+    v9 = y + v8    ADD (ALU)
+    v10 = x + dx   ADD (ALU)  v10 -> v11
+    v11 = v10 < a  COMP (ALU)
+    v}
+
+    The longest chain (v1 -> v3 -> v4 -> v5) lasts 6 cycles, matching
+    the paper's remark that no schedule beats 6 cycles. *)
+
+(** The module library: types ["MUL"] and ["ALU"]. *)
+val library : Fpga.Module_library.t
+
+(** The 11-task instance with precedence constraints. *)
+val instance : Packing.Instance.t
+
+(** The same tasks with the precedence constraints dropped (used for the
+    dashed curve of the paper's Fig. 7). *)
+val instance_without_precedence : Packing.Instance.t
+
+(** Ground truth from the paper's Table 1: for each time bound [T], the
+    optimal quadratic chip size, as [(t_max, h_opt)] pairs:
+    [(6, 32); (13, 17); (14, 16)]. *)
+val table1 : (int * int) list

@@ -1,0 +1,103 @@
+let mul_box = Geometry.Box.make3 ~w:16 ~h:16 ~duration:2
+let alu_box = Geometry.Box.make3 ~w:16 ~h:1 ~duration:1
+
+let make name boxes labels precedence =
+  Packing.Instance.make ~name
+    ~labels:(Array.of_list labels)
+    ~precedence
+    ~boxes:(Array.of_list boxes)
+    ()
+
+let fir ~taps =
+  if taps < 1 then invalid_arg "Dfg.fir: taps < 1";
+  (* Tasks 0 .. taps-1: multipliers. Then a balanced adder tree over the
+     products: each ALU adds two previous results. *)
+  let boxes = ref [] and labels = ref [] and arcs = ref [] in
+  let count = ref 0 in
+  let add_task box label =
+    boxes := box :: !boxes;
+    labels := label :: !labels;
+    let id = !count in
+    incr count;
+    id
+  in
+  let products =
+    List.init taps (fun i -> add_task mul_box (Printf.sprintf "mul%d" i))
+  in
+  let rec reduce level = function
+    | [] -> ()
+    | [ _ ] -> ()
+    | inputs ->
+      let rec pair acc = function
+        | a :: b :: rest ->
+          let s = add_task alu_box (Printf.sprintf "add%d_%d" level (List.length acc)) in
+          arcs := (a, s) :: (b, s) :: !arcs;
+          pair (s :: acc) rest
+        | [ a ] -> pair (a :: acc) []
+        | [] -> reduce (level + 1) (List.rev acc)
+      in
+      pair [] inputs
+  in
+  reduce 0 products;
+  make
+    (Printf.sprintf "fir-%d" taps)
+    (List.rev !boxes) (List.rev !labels) !arcs
+
+let butterfly ~stages =
+  if stages < 1 || stages > 6 then invalid_arg "Dfg.butterfly: stages out of range";
+  let points = 1 lsl stages in
+  let boxes = ref [] and labels = ref [] and arcs = ref [] in
+  let count = ref 0 in
+  let add_task box label =
+    boxes := box :: !boxes;
+    labels := label :: !labels;
+    let id = !count in
+    incr count;
+    id
+  in
+  (* carriers.(p) is the task currently producing point p's value. *)
+  let carriers = Array.make points None in
+  for s = 0 to stages - 1 do
+    let half = 1 lsl s in
+    let p = ref 0 in
+    while !p < points do
+      if !p land half = 0 then begin
+        let q = !p + half in
+        (* One butterfly: a twiddle multiplication on q, then the sum
+           and difference ALU operations producing the new p and q. *)
+        let m = add_task mul_box (Printf.sprintf "tw%d_%d" s q) in
+        let a = add_task alu_box (Printf.sprintf "bfa%d_%d" s !p) in
+        let b = add_task alu_box (Printf.sprintf "bfs%d_%d" s q) in
+        (match carriers.(q) with
+        | Some src -> arcs := (src, m) :: !arcs
+        | None -> ());
+        (match carriers.(!p) with
+        | Some src -> arcs := (src, a) :: (src, b) :: !arcs
+        | None -> ());
+        arcs := (m, a) :: (m, b) :: !arcs;
+        carriers.(!p) <- Some a;
+        carriers.(q) <- Some b
+      end;
+      incr p
+    done
+  done;
+  make
+    (Printf.sprintf "butterfly-%d" stages)
+    (List.rev !boxes) (List.rev !labels) !arcs
+
+let chain ~length =
+  if length < 1 then invalid_arg "Dfg.chain: length < 1";
+  let boxes =
+    List.init length (fun i -> if i mod 2 = 0 then mul_box else alu_box)
+  in
+  let labels = List.init length (Printf.sprintf "op%d") in
+  let arcs = List.init (length - 1) (fun i -> (i, i + 1)) in
+  make (Printf.sprintf "chain-%d" length) boxes labels arcs
+
+let independent ~n =
+  if n < 1 then invalid_arg "Dfg.independent: n < 1";
+  make
+    (Printf.sprintf "independent-%d" n)
+    (List.init n (fun _ -> mul_box))
+    (List.init n (Printf.sprintf "mul%d"))
+    []

@@ -1,0 +1,30 @@
+(** Parametric data-flow-graph workloads.
+
+    Correct-by-construction families of high-level-synthesis task graphs
+    in the spirit of the paper's DE benchmark, for scaling studies and
+    stress tests. All use the DE module library geometry (MUL 16x16x2,
+    ALU 16x1x1) scaled by [cell_scale] if given.
+
+    - {!fir}: an N-tap FIR filter — N multipliers feeding a balanced
+      adder tree (the classic "sum of products").
+    - {!butterfly}: an FFT-like butterfly network over [2^stages]
+      points; each butterfly is one multiplier followed by two ALU
+      operations, wired stage to stage.
+    - {!chain}: a pathological serial chain alternating MUL and ALU —
+      maximal precedence pressure, no parallelism.
+    - {!independent}: n independent multipliers — maximal parallelism,
+      no precedence (pure packing). *)
+
+(** [fir ~taps] with [taps >= 1]. Tasks: [taps] MULs + [taps - 1] adder
+    ALUs. Critical path: one MUL + ceil(log2 taps) ALU levels. *)
+val fir : taps:int -> Packing.Instance.t
+
+(** [butterfly ~stages] with [1 <= stages <= 6]: [2^(stages-1) * stages]
+    butterflies, 3 tasks each. *)
+val butterfly : stages:int -> Packing.Instance.t
+
+(** [chain ~length] alternates MUL and ALU in one dependency chain. *)
+val chain : length:int -> Packing.Instance.t
+
+(** [independent ~n] is [n] multipliers with no precedence. *)
+val independent : n:int -> Packing.Instance.t

@@ -1,0 +1,88 @@
+module Box = Geometry.Box
+module Container = Geometry.Container
+
+let random ~seed ~n ~max_extent ~max_duration ~arc_probability () =
+  if n <= 0 then invalid_arg "Generate.random: n <= 0";
+  if max_extent <= 0 || max_duration <= 0 then
+    invalid_arg "Generate.random: non-positive extents";
+  let rng = Random.State.make [| seed |] in
+  let boxes =
+    Array.init n (fun _ ->
+        Box.make3
+          ~w:(1 + Random.State.int rng max_extent)
+          ~h:(1 + Random.State.int rng max_extent)
+          ~duration:(1 + Random.State.int rng max_duration))
+  in
+  let precedence = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float rng 1.0 < arc_probability then
+        precedence := (i, j) :: !precedence
+    done
+  done;
+  Packing.Instance.make
+    ~name:(Printf.sprintf "random-%d" seed)
+    ~precedence:!precedence ~boxes ()
+
+(* A piece of the container during recursive cutting: origin + extents. *)
+type piece = {
+  origin : int array;
+  size : int array;
+}
+
+let guillotine ~seed ~container ~cuts ~arc_probability () =
+  if cuts < 0 then invalid_arg "Generate.guillotine: negative cuts";
+  let d = Container.dim container in
+  let rng = Random.State.make [| seed |] in
+  let pieces =
+    ref [ { origin = Array.make d 0; size = Container.extents container } ]
+  in
+  (* Each round, split a random piece that is splittable (some axis with
+     extent >= 2) at a random coordinate. *)
+  for _ = 1 to cuts do
+    let splittable =
+      List.filter (fun p -> Array.exists (fun e -> e >= 2) p.size) !pieces
+    in
+    match splittable with
+    | [] -> ()
+    | _ ->
+      let p = List.nth splittable (Random.State.int rng (List.length splittable)) in
+      let axes =
+        List.filter (fun k -> p.size.(k) >= 2) (List.init d Fun.id)
+      in
+      let k = List.nth axes (Random.State.int rng (List.length axes)) in
+      let cut = 1 + Random.State.int rng (p.size.(k) - 1) in
+      let left = { origin = Array.copy p.origin; size = Array.copy p.size } in
+      left.size.(k) <- cut;
+      let right = { origin = Array.copy p.origin; size = Array.copy p.size } in
+      right.origin.(k) <- p.origin.(k) + cut;
+      right.size.(k) <- p.size.(k) - cut;
+      pieces := left :: right :: List.filter (fun q -> q != p) !pieces
+  done;
+  let pieces = Array.of_list (List.rev !pieces) in
+  let n = Array.length pieces in
+  let boxes = Array.map (fun p -> Box.make p.size) pieces in
+  let time = d - 1 in
+  let finish p = p.origin.(time) + p.size.(time) in
+  let precedence = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if
+        i <> j
+        && finish pieces.(i) <= pieces.(j).origin.(time)
+        && Random.State.float rng 1.0 < arc_probability
+      then precedence := (i, j) :: !precedence
+    done
+  done;
+  let inst =
+    Packing.Instance.make
+      ~name:(Printf.sprintf "guillotine-%d" seed)
+      ~precedence:!precedence ~boxes ()
+  in
+  let placement =
+    Geometry.Placement.make boxes (Array.map (fun p -> p.origin) pieces)
+  in
+  assert (
+    Geometry.Placement.is_feasible placement ~container
+      ~precedes:(Packing.Instance.precedes inst));
+  (inst, placement)

@@ -1,0 +1,38 @@
+(** Random instance generators for tests and ablation benchmarks.
+
+    Two families:
+    - {!random}: arbitrary boxes plus a random DAG — feasibility
+      unknown, exercises both solver answers;
+    - {!guillotine}: boxes produced by recursively cutting a container
+      into pieces, optionally with precedence arcs consistent with the
+      pieces' time intervals — feasible {e by construction}, which makes
+      it the reference oracle for solver soundness tests.
+
+    All generators are deterministic in [seed]. *)
+
+(** [random ~seed ~n ~max_extent ~max_duration ~arc_probability ()]
+    generates [n] boxes with spatial extents in [1 .. max_extent],
+    durations in [1 .. max_duration], and each forward pair [(i, j)],
+    [i < j], made a precedence arc with the given probability. *)
+val random :
+  seed:int ->
+  n:int ->
+  max_extent:int ->
+  max_duration:int ->
+  arc_probability:float ->
+  unit ->
+  Packing.Instance.t
+
+(** [guillotine ~seed ~container ~cuts ~arc_probability ()] recursively
+    splits [container] by axis-orthogonal cuts into [cuts + 1] boxes
+    that tile it exactly, then adds precedence arcs only between pieces
+    whose time intervals are disjoint and ordered (so the original tiling
+    remains a feasible placement). Returns the instance and the
+    witnessing placement. *)
+val guillotine :
+  seed:int ->
+  container:Geometry.Container.t ->
+  cuts:int ->
+  arc_probability:float ->
+  unit ->
+  Packing.Instance.t * Geometry.Placement.t

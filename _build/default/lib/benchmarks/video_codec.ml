@@ -1,0 +1,90 @@
+let library =
+  Fpga.Module_library.create
+    [
+      {
+        Fpga.Module_library.type_name = "PUM";
+        width = 25;
+        height = 25;
+        exec_time = 1; (* per-task times are set per node below *)
+        reconfig_time = 0;
+      };
+      {
+        Fpga.Module_library.type_name = "BMM";
+        width = 64;
+        height = 64;
+        exec_time = 21;
+        reconfig_time = 0;
+      };
+      {
+        Fpga.Module_library.type_name = "DCTM";
+        width = 16;
+        height = 16;
+        exec_time = 10;
+        reconfig_time = 0;
+      };
+    ]
+
+(* (label, module type, execution time). Execution times of PUM nodes
+   differ per function realized on the core; BMM and DCTM are fixed-
+   function. See the .mli reconstruction note. *)
+let nodes =
+  [
+    (* coder *)
+    ("ME", "BMM", 21);
+    ("MC", "PUM", 4);
+    ("LF", "PUM", 4);
+    ("SUB", "PUM", 2);
+    ("DCT", "DCTM", 10);
+    ("Q", "PUM", 3);
+    ("RLC", "PUM", 2);
+    ("IQ", "PUM", 3);
+    ("IDCT", "DCTM", 10);
+    ("ADD", "PUM", 2);
+    (* decoder *)
+    ("RLD", "PUM", 2);
+    ("DIQ", "PUM", 3);
+    ("DIDCT", "DCTM", 10);
+    ("DMC", "PUM", 4);
+    ("DADD", "PUM", 2);
+  ]
+
+let index label =
+  let rec go i = function
+    | [] -> invalid_arg ("Video_codec: unknown node " ^ label)
+    | (l, _, _) :: rest -> if l = label then i else go (i + 1) rest
+  in
+  go 0 nodes
+
+let arcs_by_label =
+  [
+    ("ME", "MC");
+    ("MC", "LF");
+    ("LF", "SUB");
+    ("LF", "ADD");
+    ("SUB", "DCT");
+    ("DCT", "Q");
+    ("Q", "RLC");
+    ("Q", "IQ");
+    ("IQ", "IDCT");
+    ("IDCT", "ADD");
+    ("RLD", "DIQ");
+    ("DIQ", "DIDCT");
+    ("DIDCT", "DADD");
+    ("DMC", "DADD");
+  ]
+
+let instance =
+  let boxes =
+    Array.of_list
+      (List.map
+         (fun (_, type_name, exec) ->
+           let mt = Fpga.Module_library.find library type_name in
+           Geometry.Box.make3 ~w:mt.Fpga.Module_library.width
+             ~h:mt.Fpga.Module_library.height ~duration:exec)
+         nodes)
+  in
+  let labels = Array.of_list (List.map (fun (l, _, _) -> l) nodes) in
+  let precedence = List.map (fun (a, b) -> (index a, index b)) arcs_by_label in
+  Packing.Instance.make ~name:"video-codec" ~labels ~precedence ~boxes ()
+
+let table2 = (64, 59)

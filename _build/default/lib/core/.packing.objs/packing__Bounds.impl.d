@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Array Fun Geometry Graphlib Instance List Printf String

@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Array Fun Geometry Instance List Order

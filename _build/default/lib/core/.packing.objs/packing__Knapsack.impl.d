@@ -1,0 +1,1 @@
+lib/core/knapsack.ml: Array Fun Geometry Hashtbl Instance List Opp_solver Order

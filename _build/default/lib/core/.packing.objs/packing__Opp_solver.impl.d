@@ -1,0 +1,1 @@
+lib/core/opp_solver.ml: Bounds Format Geometry Heuristic Instance Packing_state Reconstruct

@@ -1,0 +1,1 @@
+lib/core/opp_solver.mli: Format Geometry Instance Packing_state

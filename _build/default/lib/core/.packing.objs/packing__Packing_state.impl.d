@@ -1,0 +1,1 @@
+lib/core/packing_state.ml: Array Geometry Instance List Order Printf

@@ -1,0 +1,1 @@
+lib/core/packing_state.mli: Geometry Instance Order

@@ -1,0 +1,1 @@
+lib/core/problems.ml: Array Bounds Fun Geometry Heuristic Instance List Opp_solver Option Order

@@ -1,0 +1,1 @@
+lib/core/problems.mli: Geometry Instance Opp_solver

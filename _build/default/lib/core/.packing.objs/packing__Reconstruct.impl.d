@@ -1,0 +1,1 @@
+lib/core/reconstruct.ml: Array Geometry Instance Order Packing_state

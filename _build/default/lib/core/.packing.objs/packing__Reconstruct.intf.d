@@ -1,0 +1,1 @@
+lib/core/reconstruct.mli: Geometry Graphlib Instance Packing_state

@@ -1,0 +1,69 @@
+(** Lower bounds / fast infeasibility proofs for orthogonal packing.
+
+    Stage 1 of the paper's framework: before any search is started, try
+    to disprove the existence of a packing with cheap certificates. The
+    bound families implemented here follow Fekete & Schepers' conservative
+    scales (dual feasible functions, DFFs):
+
+    - the plain volume bound;
+    - per-axis fit (every box must fit the container axis by axis);
+    - the critical-path bound with precedence constraints;
+    - the duration bound for tasks that pairwise exclude each other
+      spatially (an {e exclusion clique} must serialize in time);
+    - DFF-transformed volume bounds: if [f] is dual feasible (for any
+      finite set [S] of sizes with sum at most [W], the transformed sizes
+      sum to at most [f(W)]), transforming any subset of axes preserves
+      packability, so a transformed volume overflow disproves packing.
+      We use the classical families [f_eps] (threshold rounding) and
+      [u^(k)] (multiplicative rounding), with exact integer arithmetic. *)
+
+type verdict =
+  | Unknown (** bounds are silent; a search is needed *)
+  | Infeasible of string (** certificate description *)
+
+(** [check instance container] runs all bound families and returns the
+    first infeasibility certificate found. *)
+val check : Instance.t -> Geometry.Container.t -> verdict
+
+(** [volume_exceeded instance container] is the plain volume test. *)
+val volume_exceeded : Instance.t -> Geometry.Container.t -> bool
+
+(** [misfit instance container] is [Some task] if a task does not fit
+    the container axis by axis. *)
+val misfit : Instance.t -> Geometry.Container.t -> int option
+
+(** [critical_path_exceeded instance container] is [true] when the
+    heaviest precedence chain is longer than the container's time
+    extent. *)
+val critical_path_exceeded : Instance.t -> Geometry.Container.t -> bool
+
+(** [exclusion_duration instance container] is the largest total
+    duration of a set of tasks that pairwise cannot run simultaneously
+    (each pair overflows the container in every spatial axis). All
+    members must serialize, so the value is a makespan lower bound. *)
+val exclusion_duration : Instance.t -> Geometry.Container.t -> int
+
+(** [dff_volume_exceeded instance container] tries the Cartesian product
+    of per-axis DFF transformations (identity, [f_eps] at all relevant
+    thresholds, [u^(k)] for small [k]) and reports the first composed
+    transformation whose transformed volume overflows, with a
+    description. Products of per-axis DFFs preserve packability, so any
+    overflow is an infeasibility certificate. *)
+val dff_volume_exceeded : Instance.t -> Geometry.Container.t -> string option
+
+(** {2 Dual feasible functions}
+
+    Exposed for tests: both functions are exact integer versions,
+    parameterized by the container extent [w_max]. *)
+
+(** [f_eps ~eps ~w_max w] is the threshold DFF: [w_max] when
+    [w > w_max - eps], [0] when [w < eps], and [w] in between. Requires
+    [0 < eps <= w_max / 2] and [0 <= w <= w_max]. *)
+val f_eps : eps:int -> w_max:int -> int -> int
+
+(** [u_k ~k ~w_max w] is the rounding DFF scaled by [k * w_max]: it
+    equals [k * w] when [(k + 1) * w] is divisible by [w_max], and
+    [w_max * floor ((k + 1) * w / w_max)] otherwise. Values are measured
+    in units of [w_max / (k * w_max)]; the transformed container extent
+    is [k * w_max]. Requires [k >= 1] and [0 <= w <= w_max]. *)
+val u_k : k:int -> w_max:int -> int -> int

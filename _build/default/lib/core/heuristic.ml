@@ -1,0 +1,170 @@
+module Box = Geometry.Box
+module Container = Geometry.Container
+module Placement = Geometry.Placement
+module PO = Order.Partial_order
+
+(* Remaining-chain criticality: duration of the task plus the heaviest
+   chain of successors. *)
+let criticality inst =
+  let n = Instance.count inst in
+  let p = Instance.precedence inst in
+  let memo = Array.make n (-1) in
+  let rec crit i =
+    if memo.(i) >= 0 then memo.(i)
+    else begin
+      let best = ref 0 in
+      for j = 0 to n - 1 do
+        if PO.precedes p i j then best := max !best (crit j)
+      done;
+      memo.(i) <- Instance.duration inst i + !best;
+      memo.(i)
+    end
+  in
+  Array.init n crit
+
+type placed = {
+  task : int;
+  x : int;
+  y : int;
+  t : int;
+}
+
+let overlaps inst placed_list ~task ~x ~y ~t =
+  let w = Instance.extent inst task 0
+  and h = Instance.extent inst task 1
+  and d = Instance.duration inst task in
+  List.exists
+    (fun p ->
+      let pw = Instance.extent inst p.task 0
+      and ph = Instance.extent inst p.task 1
+      and pd = Instance.duration inst p.task in
+      x < p.x + pw && p.x < x + w && y < p.y + ph && p.y < y + h
+      && t < p.t + pd && p.t < t + d)
+    placed_list
+
+(* Candidate corner positions: origin, and right/top faces of already
+   placed boxes (classical bottom-left family). *)
+let candidates inst placed_list =
+  let xs = ref [ 0 ] and ys = ref [ 0 ] in
+  List.iter
+    (fun p ->
+      xs := (p.x + Instance.extent inst p.task 0) :: !xs;
+      ys := (p.y + Instance.extent inst p.task 1) :: !ys)
+    placed_list;
+  (List.sort_uniq compare !xs, List.sort_uniq compare !ys)
+
+let try_place inst container placed_list ~task ~t =
+  let w = Instance.extent inst task 0
+  and h = Instance.extent inst task 1 in
+  let cw = Container.extent container 0
+  and ch = Container.extent container 1 in
+  let xs, ys = candidates inst placed_list in
+  let found = ref None in
+  List.iter
+    (fun y ->
+      List.iter
+        (fun x ->
+          if
+            !found = None && x + w <= cw && y + h <= ch
+            && not (overlaps inst placed_list ~task ~x ~y ~t)
+          then found := Some (x, y))
+        xs)
+    ys;
+  !found
+
+let schedule inst container ~t_limit =
+  let n = Instance.count inst in
+  let p = Instance.precedence inst in
+  let crit = criticality inst in
+  let order =
+    List.sort
+      (fun a b ->
+        let c = compare crit.(b) crit.(a) in
+        if c <> 0 then c
+        else
+          compare
+            (Instance.extent inst b 0 * Instance.extent inst b 1)
+            (Instance.extent inst a 0 * Instance.extent inst a 1))
+      (List.init n Fun.id)
+  in
+  let placed = ref [] in
+  let done_ = Array.make n false in
+  let finish = Array.make n 0 in
+  let remaining = ref n in
+  let time = ref 0 in
+  let progress = ref true in
+  while !remaining > 0 && !progress do
+    progress := false;
+    (* Place every ready task that fits at the current time. *)
+    let ready i =
+      (not done_.(i))
+      && List.for_all
+           (fun j -> (not (PO.precedes p j i)) || (done_.(j) && finish.(j) <= !time))
+           (List.init n Fun.id)
+    in
+    List.iter
+      (fun i ->
+        if ready i then begin
+          match try_place inst container ~task:i ~t:!time !placed with
+          | Some (x, y) when !time + Instance.duration inst i <= t_limit ->
+            placed := { task = i; x; y; t = !time } :: !placed;
+            done_.(i) <- true;
+            finish.(i) <- !time + Instance.duration inst i;
+            decr remaining;
+            progress := true
+          | _ -> ()
+        end)
+      order;
+    if !remaining > 0 then begin
+      (* Advance to the next event: the earliest finish after now, or
+         the earliest finish overall when nothing is running. *)
+      let next = ref max_int in
+      List.iter
+        (fun pl ->
+          let f = finish.(pl.task) in
+          if f > !time && f < !next then next := f)
+        !placed;
+      if !next < max_int then begin
+        time := !next;
+        progress := true
+      end
+    end
+  done;
+  if !remaining > 0 then None
+  else begin
+    let origins = Array.make n [| 0; 0; 0 |] in
+    List.iter (fun pl -> origins.(pl.task) <- [| pl.x; pl.y; pl.t |]) !placed;
+    Some (Placement.make (Instance.boxes inst) origins)
+  end
+
+let pack inst container =
+  if Instance.dim inst <> 3 || Container.dim container <> 3 then
+    invalid_arg "Heuristic.pack: expects 3-dimensional space-time instances";
+  let t_limit = Container.extent container 2 in
+  match schedule inst container ~t_limit with
+  | None -> None
+  | Some placement ->
+    if
+      Geometry.Placement.is_feasible placement ~container
+        ~precedes:(Instance.precedes inst)
+    then Some placement
+    else None
+
+let makespan inst ~base =
+  if Instance.dim inst <> 3 then
+    invalid_arg "Heuristic.makespan: expects 3-dimensional instances";
+  let horizon = max 1 (Instance.total_duration inst) in
+  let container =
+    Container.make3
+      ~w:(Container.extent base 0)
+      ~h:(Container.extent base 1)
+      ~t_max:horizon
+  in
+  match schedule inst container ~t_limit:horizon with
+  | None -> None
+  | Some placement ->
+    if
+      Geometry.Placement.is_feasible placement ~container
+        ~precedes:(Instance.precedes inst)
+    then Some (Geometry.Placement.makespan placement, placement)
+    else None

@@ -1,0 +1,24 @@
+(** Stage 2 of the paper's framework: fast construction of feasible
+    packings.
+
+    A precedence-aware list scheduler: tasks become ready when all
+    predecessors have finished; ready tasks are tried in order of
+    decreasing criticality (longest remaining precedence chain, ties
+    broken by spatial area) and placed at the lowest feasible corner
+    position of the chip; when nothing fits, time advances to the next
+    finish event. The result is validated geometrically before being
+    returned, so a [Some] answer is always a feasible packing. *)
+
+(** [pack instance container] attempts to build a feasible placement
+    inside [container]. *)
+val pack : Instance.t -> Geometry.Container.t -> Geometry.Placement.t option
+
+(** [makespan instance ~base] runs the scheduler on an unbounded time
+    horizon over the spatial base [base] (a container whose time extent
+    is ignored) and returns the achieved makespan together with the
+    placement — an upper bound for the SPP. [None] if some task does not
+    fit spatially. *)
+val makespan :
+  Instance.t ->
+  base:Geometry.Container.t ->
+  (int * Geometry.Placement.t) option

@@ -1,0 +1,60 @@
+module Box = Geometry.Box
+module PO = Order.Partial_order
+
+type t = {
+  name : string;
+  boxes : Box.t array;
+  labels : string array;
+  precedence : PO.t;
+}
+
+let make ?(name = "instance") ?labels ?(precedence = []) ~boxes () =
+  let n = Array.length boxes in
+  if n = 0 then invalid_arg "Instance.make: no tasks";
+  let d = Box.dim boxes.(0) in
+  Array.iter
+    (fun b ->
+      if Box.dim b <> d then invalid_arg "Instance.make: mixed dimensions")
+    boxes;
+  let labels =
+    match labels with
+    | None -> Array.init n (Printf.sprintf "t%d")
+    | Some l ->
+      if Array.length l <> n then invalid_arg "Instance.make: label arity";
+      Array.copy l
+  in
+  { name; boxes = Array.copy boxes; labels; precedence = PO.of_arcs ~n precedence }
+
+let name t = t.name
+let count t = Array.length t.boxes
+let dim t = Box.dim t.boxes.(0)
+let time_axis t = dim t - 1
+let box t i = t.boxes.(i)
+let boxes t = Array.copy t.boxes
+let label t i = t.labels.(i)
+let extent t i k = Box.extent t.boxes.(i) k
+let duration t i = extent t i (time_axis t)
+let precedence t = t.precedence
+let precedes t u v = PO.precedes t.precedence u v
+
+let without_precedence t =
+  { t with precedence = PO.empty ~n:(count t); name = t.name ^ " (no order)" }
+
+let total_volume t = Array.fold_left (fun acc b -> acc + Box.volume b) 0 t.boxes
+
+let critical_path t =
+  PO.critical_path t.precedence ~duration:(fun i -> duration t i)
+
+let total_duration t =
+  let acc = ref 0 in
+  for i = 0 to count t - 1 do
+    acc := !acc + duration t i
+  done;
+  !acc
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s: %d tasks, dim %d@ " t.name (count t) (dim t);
+  Array.iteri
+    (fun i b -> Format.fprintf fmt "  %s: %a@ " t.labels.(i) Box.pp b)
+    t.boxes;
+  Format.fprintf fmt "  precedence: %d relations@]" (PO.size t.precedence)

@@ -1,0 +1,68 @@
+(** Problem instances: a set of tasks (boxes) plus temporal precedence
+    constraints.
+
+    Tasks are [d]-dimensional boxes whose last axis is execution time;
+    the usual FPGA case is [d = 3] with axes [x; y; t]. The precedence
+    order relates tasks along the time axis only: [u -> v] means task
+    [v] may start only after task [u] has finished. The order is stored
+    transitively closed (the paper's first preprocessing step). *)
+
+type t
+
+(** [make ~boxes ()] builds an instance.
+    @param name      used in logs and reports (default ["instance"]).
+    @param labels    per-task display names (default ["t0"], ["t1"], ...).
+    @param precedence arcs between task indices; closed transitively.
+    @raise Invalid_argument if boxes are empty, have differing
+    dimensions, labels have the wrong arity, or the precedence arcs
+    contain a cycle. *)
+val make :
+  ?name:string ->
+  ?labels:string array ->
+  ?precedence:(int * int) list ->
+  boxes:Geometry.Box.t array ->
+  unit ->
+  t
+
+val name : t -> string
+
+(** Number of tasks. *)
+val count : t -> int
+
+(** Dimension of the boxes (3 for space-time instances). *)
+val dim : t -> int
+
+(** Index of the time axis, [dim - 1]. *)
+val time_axis : t -> int
+
+val box : t -> int -> Geometry.Box.t
+val boxes : t -> Geometry.Box.t array
+val label : t -> int -> string
+
+(** [extent i task axis] is the size of [task] along [axis]. *)
+val extent : t -> int -> int -> int
+
+(** Execution time of a task (extent along the time axis). *)
+val duration : t -> int -> int
+
+(** The (transitively closed) precedence order. *)
+val precedence : t -> Order.Partial_order.t
+
+(** [precedes i u v] is [true] iff [u] must finish before [v] starts. *)
+val precedes : t -> int -> int -> bool
+
+(** [without_precedence i] forgets all precedence constraints (used for
+    the dashed curve of Fig. 7). *)
+val without_precedence : t -> t
+
+(** Total box volume. *)
+val total_volume : t -> int
+
+(** Critical-path length: total duration of the heaviest precedence
+    chain — a lower bound on any feasible makespan. *)
+val critical_path : t -> int
+
+(** Sum of all durations — the fully serialized makespan. *)
+val total_duration : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(** The orthogonal knapsack problem (OKP) on top of the packing-class
+    engine — the original application of Fekete & Schepers' framework
+    ("A new exact algorithm for general orthogonal d-dimensional
+    knapsack problems", ESA'97, [7] in the paper).
+
+    Given per-task values, select the subset of maximal total value that
+    admits a feasible packing (with precedence constraints: a selected
+    task drags its data producers in — a consumer cannot run without its
+    inputs, so admissible selections are down-closed in the precedence
+    order).
+
+    The solver is exact: branch and bound over selections ordered by
+    value, bounded by the trivial value sum, the volume bound, and the
+    packing decision procedure on candidate selections. Intended for the
+    instance sizes of the paper (tens of tasks). *)
+
+type result = {
+  value : int;
+  selected : int list; (** sorted task indices *)
+  placement : Geometry.Placement.t; (** witness for the selection *)
+}
+
+(** [solve instance container ~value] maximizes the summed [value] over
+    down-closed, feasibly packable selections. Values must be
+    non-negative. Returns [None] when even the empty selection is the
+    best (all tasks misfit or all values are 0 — the empty selection has
+    value 0 and no placement). *)
+val solve :
+  ?options:Opp_solver.options ->
+  Instance.t ->
+  Geometry.Container.t ->
+  value:(int -> int) ->
+  result option

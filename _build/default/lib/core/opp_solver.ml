@@ -1,0 +1,126 @@
+type outcome =
+  | Feasible of Geometry.Placement.t
+  | Infeasible
+  | Timeout
+
+type stats = {
+  nodes : int;
+  conflicts : int;
+  leaves : int;
+  by_bounds : bool;
+  by_heuristic : bool;
+}
+
+type options = {
+  rules : Packing_state.rules;
+  use_bounds : bool;
+  use_heuristic : bool;
+  node_limit : int option;
+  component_first : bool;
+}
+
+let default_options =
+  {
+    rules = Packing_state.default_rules;
+    use_bounds = true;
+    use_heuristic = true;
+    node_limit = None;
+    component_first = true;
+  }
+
+exception Found of Geometry.Placement.t
+exception Node_limit
+
+let solve ?(options = default_options) ?schedule inst cont =
+  let nodes = ref 0 and conflicts = ref 0 and leaves = ref 0 in
+  let finish outcome ~by_bounds ~by_heuristic =
+    ( outcome,
+      {
+        nodes = !nodes;
+        conflicts = !conflicts;
+        leaves = !leaves;
+        by_bounds;
+        by_heuristic;
+      } )
+  in
+  (* Stage 1: try to disprove existence by bounds. *)
+  if options.use_bounds && Bounds.check inst cont <> Bounds.Unknown then
+    finish Infeasible ~by_bounds:true ~by_heuristic:false
+  else begin
+    (* Stage 2: try to construct a packing heuristically. A fixed
+       schedule disables this stage: the heuristic would pick its own
+       start times, which is not the question being asked. *)
+    let heuristic_hit =
+      if options.use_heuristic && schedule = None && Instance.dim inst = 3 then
+        Heuristic.pack inst cont
+      else None
+    in
+    match heuristic_hit with
+    | Some placement -> finish (Feasible placement) ~by_bounds:false ~by_heuristic:true
+    | None -> (
+      (* Stage 3: branch and bound over packing classes. *)
+      match Packing_state.create ~rules:options.rules ?schedule inst cont with
+      | Error _ ->
+        incr conflicts;
+        finish Infeasible ~by_bounds:false ~by_heuristic:false
+      | Ok state ->
+        let rec dfs () =
+          incr nodes;
+          (match options.node_limit with
+          | Some limit when !nodes > limit -> raise Node_limit
+          | _ -> ());
+          (* Early realization: if the decided part of the class already
+             forces a feasible layout, stop — the validator guarantees
+             soundness, undecided pairs merely lose their "must overlap"
+             freedom. The attempt is budget-limited; the exact check
+             runs at true leaves below. *)
+          (match Reconstruct.attempt state with
+          | Some placement -> raise (Found placement)
+          | None -> ());
+          match Packing_state.choose_unknown state with
+          | None -> (
+            incr leaves;
+            match Reconstruct.of_state state with
+            | Some placement -> raise (Found placement)
+            | None -> incr conflicts)
+          | Some (dim, u, v) ->
+            let branch assign =
+              let marks = Packing_state.mark state in
+              (match assign state ~dim u v with
+              | Ok () -> dfs ()
+              | Error _ -> incr conflicts);
+              Packing_state.undo_to state marks
+            in
+            if options.component_first then begin
+              branch Packing_state.assign_component;
+              branch Packing_state.assign_comparable
+            end
+            else begin
+              branch Packing_state.assign_comparable;
+              branch Packing_state.assign_component
+            end
+        in
+        (try
+           dfs ();
+           finish Infeasible ~by_bounds:false ~by_heuristic:false
+         with
+        | Found placement ->
+          finish (Feasible placement) ~by_bounds:false ~by_heuristic:false
+        | Node_limit -> finish Timeout ~by_bounds:false ~by_heuristic:false))
+  end
+
+let feasible ?options ?schedule inst cont =
+  match solve ?options ?schedule inst cont with
+  | Feasible _, _ -> true
+  | Infeasible, _ -> false
+  | Timeout, _ -> failwith "Opp_solver.feasible: node limit exhausted"
+
+let pp_outcome fmt = function
+  | Feasible _ -> Format.pp_print_string fmt "feasible"
+  | Infeasible -> Format.pp_print_string fmt "infeasible"
+  | Timeout -> Format.pp_print_string fmt "timeout"
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "nodes=%d conflicts=%d leaves=%d bounds=%b heuristic=%b" s.nodes
+    s.conflicts s.leaves s.by_bounds s.by_heuristic

@@ -1,0 +1,63 @@
+(** The exact orthogonal packing decision procedure (OPP) with optional
+    temporal precedence constraints — stage 3 of the paper's framework,
+    preceded by bounds (stage 1) and a construction heuristic (stage 2).
+
+    The branch-and-bound search enumerates packing classes: it
+    repeatedly picks an undecided (pair, dimension), branches on
+    {e component} (projections overlap) versus {e comparability}
+    (projections disjoint), and propagates the packing-class conditions
+    plus the D1/D2 orientation implications after every decision. A leaf
+    is accepted only if an actual placement can be reconstructed and
+    passes geometric validation, so a [Feasible] answer always carries a
+    checked witness; [Infeasible] is exact, by exhaustion of the packing
+    class space. *)
+
+type outcome =
+  | Feasible of Geometry.Placement.t
+  | Infeasible
+  | Timeout (** the optional node budget was exhausted *)
+
+type stats = {
+  nodes : int; (** branch-and-bound nodes visited *)
+  conflicts : int; (** propagation failures (pruned branches) *)
+  leaves : int; (** fully decided states reached *)
+  by_bounds : bool; (** settled by stage-1 bounds *)
+  by_heuristic : bool; (** settled by the stage-2 heuristic *)
+}
+
+type options = {
+  rules : Packing_state.rules; (** propagation toggles (ablations) *)
+  use_bounds : bool; (** stage 1 *)
+  use_heuristic : bool; (** stage 2 *)
+  node_limit : int option; (** give up after this many nodes *)
+  component_first : bool; (** branch order at each decision *)
+}
+
+val default_options : options
+
+(** [solve ?options ?schedule instance container] decides whether the
+    tasks fit into the container while respecting the precedence order.
+    When [schedule] gives a fixed start time per task, the time
+    dimension is pre-determined and only the spatial dimensions are
+    searched — the paper's FixedS problems. The witness placement then
+    uses equivalent (possibly compressed) start times with the same
+    overlap structure; callers wanting the original start times can
+    substitute them, spatial feasibility is preserved. *)
+val solve :
+  ?options:options ->
+  ?schedule:int array ->
+  Instance.t ->
+  Geometry.Container.t ->
+  outcome * stats
+
+(** [feasible instance container] is [solve] reduced to a boolean;
+    @raise Failure on [Timeout]. *)
+val feasible :
+  ?options:options ->
+  ?schedule:int array ->
+  Instance.t ->
+  Geometry.Container.t ->
+  bool
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_stats : Format.formatter -> stats -> unit

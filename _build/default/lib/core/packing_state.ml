@@ -1,0 +1,508 @@
+module OG = Order.Oriented_graph
+module Container = Geometry.Container
+
+type rules = {
+  c2_cliques : bool;
+  c4_cycles : bool;
+  implications : bool;
+  component_cliques : bool;
+}
+
+let default_rules =
+  {
+    c2_cliques = true;
+    c4_cycles = true;
+    implications = true;
+    component_cliques = true;
+  }
+
+type t = {
+  inst : Instance.t;
+  cont : Container.t;
+  dims : OG.t array;
+  processed : int array; (* per-dimension trail mark already cross-checked *)
+  rules : rules;
+  symmetric : bool array; (* pair u*n+v (u<v): tasks interchangeable *)
+  mutable propagations : int;
+}
+
+(* Tasks u < v are interchangeable when their boxes are equal and they
+   relate identically (and not at all to each other) in the precedence
+   order. Sorting any feasible placement's copies of an identical box by
+   start time orients every time-comparable symmetric pair low -> high,
+   so forcing that orientation in the time dimension is sound — and
+   collapses the k! equivalent schedules of k identical tasks. *)
+let symmetric_pairs inst =
+  let n = Instance.count inst in
+  let p = Instance.precedence inst in
+  let sym = Array.make (n * n) false in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if
+        Geometry.Box.equal (Instance.box inst u) (Instance.box inst v)
+        && (not (Order.Partial_order.comparable p u v))
+        &&
+        let same = ref true in
+        for w = 0 to n - 1 do
+          if w <> u && w <> v then begin
+            if Order.Partial_order.precedes p u w <> Order.Partial_order.precedes p v w
+            then same := false;
+            if Order.Partial_order.precedes p w u <> Order.Partial_order.precedes p w v
+            then same := false
+          end
+        done;
+        !same
+      then sym.((u * n) + v) <- true
+    done
+  done;
+  sym
+
+let instance t = t.inst
+let container t = t.cont
+let dimension t k = t.dims.(k)
+let propagations t = t.propagations
+let mark t = Array.map OG.mark t.dims
+
+let undo_to t marks =
+  Array.iteri
+    (fun k m ->
+      OG.undo_to t.dims.(k) m;
+      t.processed.(k) <- min t.processed.(k) m)
+    marks
+
+let fail_of (c : OG.conflict) dim =
+  Error
+    (Printf.sprintf "dim %d, pair (%d,%d): %s" dim (fst c.pair) (snd c.pair)
+       c.reason)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-dimension rules                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* C3: every pair must be disjoint in at least one dimension. *)
+let rule_c3 t u v =
+  let d = Array.length t.dims in
+  let components = ref 0 in
+  let free = ref (-1) in
+  for k = 0 to d - 1 do
+    match OG.kind t.dims.(k) u v with
+    | OG.Component -> incr components
+    | OG.Unknown -> free := k
+    | OG.Comparable -> ()
+  done;
+  if !components = d then
+    Error
+      (Printf.sprintf "C3: pair (%d,%d) overlaps in every dimension" u v)
+  else if !components = d - 1 && !free >= 0 then
+    match OG.set_comparable t.dims.(!free) u v with
+    | Ok () -> Ok ()
+    | Error c -> fail_of c !free
+  else Ok ()
+
+(* C2: maximum-weight clique of the pairwise-comparable relation in one
+   dimension, restricted to cliques through the pair (u, v). The search
+   runs directly on the edge-state store to avoid building graphs. *)
+let rule_c2 t k u v =
+  if not t.rules.c2_cliques then Ok ()
+  else begin
+    let og = t.dims.(k) in
+    let n = Instance.count t.inst in
+    let cap = Container.extent t.cont k in
+    let weight i = Instance.extent t.inst i k in
+    let comparable a b = OG.kind og a b = OG.Comparable in
+    let candidates = ref [] in
+    for w = n - 1 downto 0 do
+      if w <> u && w <> v && comparable w u && comparable w v then
+        candidates := w :: !candidates
+    done;
+    let base = weight u + weight v in
+    let best = ref base in
+    (* Depth-first max-weight clique extension with an additive bound. *)
+    let rec go members weight_so_far cands cands_weight =
+      if weight_so_far > !best then best := weight_so_far;
+      if !best <= cap then
+        match cands with
+        | [] -> ()
+        | w :: rest ->
+          if weight_so_far + cands_weight > !best then begin
+            let nbrs, nbrs_weight =
+              List.fold_left
+                (fun (acc, tw) x ->
+                  if comparable w x then (x :: acc, tw + weight x)
+                  else (acc, tw))
+                ([], 0) rest
+            in
+            go (w :: members) (weight_so_far + weight w) (List.rev nbrs)
+              nbrs_weight;
+            go members weight_so_far rest (cands_weight - weight w)
+          end
+    in
+    let cands_weight = List.fold_left (fun a w -> a + weight w) 0 !candidates in
+    go [ u; v ] base !candidates cands_weight;
+    if !best > cap then
+      Error
+        (Printf.sprintf
+           "C2: comparable chain through (%d,%d) needs %d > %d in dim %d" u v
+           !best cap k)
+    else Ok ()
+  end
+
+(* Component-clique cross-section rule (the Helly argument): intervals
+   on a line that pairwise overlap share a common point, so a clique of
+   pairwise-overlapping-in-dim-k tasks coexists at some coordinate of
+   axis k — their projections onto the remaining axes must fit the
+   remaining container volume simultaneously. For the time axis this is
+   the chip-capacity rule: concurrently running tasks cannot exceed the
+   cell count. *)
+let rule_component_clique t k u v =
+  if not t.rules.component_cliques then Ok ()
+  else begin
+    let og = t.dims.(k) in
+    let n = Instance.count t.inst in
+    let d = Instance.dim t.inst in
+    let cross_weight i =
+      let w = ref 1 in
+      for j = 0 to d - 1 do
+        if j <> k then w := !w * Instance.extent t.inst i j
+      done;
+      !w
+    in
+    let cap = ref 1 in
+    for j = 0 to d - 1 do
+      if j <> k then cap := !cap * Container.extent t.cont j
+    done;
+    let cap = !cap in
+    let overlapping a b = OG.kind og a b = OG.Component in
+    let candidates = ref [] in
+    for w = n - 1 downto 0 do
+      if w <> u && w <> v && overlapping w u && overlapping w v then
+        candidates := w :: !candidates
+    done;
+    let base = cross_weight u + cross_weight v in
+    let best = ref base in
+    let rec go weight_so_far cands cands_weight =
+      if weight_so_far > !best then best := weight_so_far;
+      if !best <= cap then
+        match cands with
+        | [] -> ()
+        | w :: rest ->
+          if weight_so_far + cands_weight > !best then begin
+            let nbrs, nbrs_weight =
+              List.fold_left
+                (fun (acc, tw) x ->
+                  if overlapping w x then (x :: acc, tw + cross_weight x)
+                  else (acc, tw))
+                ([], 0) rest
+            in
+            go (weight_so_far + cross_weight w) (List.rev nbrs) nbrs_weight;
+            go weight_so_far rest (cands_weight - cross_weight w)
+          end
+    in
+    let cands_weight =
+      List.fold_left (fun a w -> a + cross_weight w) 0 !candidates
+    in
+    go base !candidates cands_weight;
+    if !best > cap then
+      Error
+        (Printf.sprintf
+           "capacity: tasks overlapping (%d,%d) in dim %d need cross-section \
+            %d > %d"
+           u v k !best cap)
+    else Ok ()
+  end
+
+(* C1, chordless 4-cycles, triggered by a new component edge (u,v):
+   look for 4-cycles u - v - w - z - u of component edges. *)
+let rule_c4_edge t k u v =
+  if not t.rules.c4_cycles then Ok ()
+  else begin
+    let og = t.dims.(k) in
+    let n = Instance.count t.inst in
+    let comp a b = OG.kind og a b = OG.Component in
+    let result = ref (Ok ()) in
+    let handle_diagonals d1u d1v d2u d2v =
+      (* diagonal 1 = (d1u,d1v), diagonal 2 = (d2u,d2v) *)
+      match (OG.kind og d1u d1v, OG.kind og d2u d2v) with
+      | OG.Comparable, OG.Comparable ->
+        result :=
+          Error
+            (Printf.sprintf
+               "C1: induced 4-cycle on {%d,%d,%d,%d} in dim %d" d1u d2u d1v
+               d2v k)
+      | OG.Comparable, OG.Unknown -> (
+        match OG.set_component og d2u d2v with
+        | Ok () -> ()
+        | Error c -> result := fail_of c k)
+      | OG.Unknown, OG.Comparable -> (
+        match OG.set_component og d1u d1v with
+        | Ok () -> ()
+        | Error c -> result := fail_of c k)
+      | _ -> ()
+    in
+    (try
+       for w = 0 to n - 1 do
+         if w <> u && w <> v && comp v w then
+           for z = 0 to n - 1 do
+             if z <> u && z <> v && z <> w && comp w z && comp z u then begin
+               handle_diagonals u w v z;
+               match !result with Error _ -> raise Exit | Ok () -> ()
+             end
+           done
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* C1, 4-cycles where the freshly comparable pair (u,v) is a diagonal:
+   cycle u - a - v - b - u of component edges with diagonal (a,b). *)
+let rule_c4_diagonal t k u v =
+  if not t.rules.c4_cycles then Ok ()
+  else begin
+    let og = t.dims.(k) in
+    let n = Instance.count t.inst in
+    let comp a b = OG.kind og a b = OG.Component in
+    let result = ref (Ok ()) in
+    (try
+       for a = 0 to n - 1 do
+         if a <> u && a <> v && comp u a && comp a v then
+           for b = a + 1 to n - 1 do
+             if b <> u && b <> v && comp u b && comp b v then begin
+               (match OG.kind og a b with
+               | OG.Comparable ->
+                 result :=
+                   Error
+                     (Printf.sprintf
+                        "C1: induced 4-cycle on {%d,%d,%d,%d} in dim %d" u a v
+                        b k)
+               | OG.Unknown -> (
+                 match OG.set_component og a b with
+                 | Ok () -> ()
+                 | Error c -> result := fail_of c k)
+               | OG.Component -> ());
+               match !result with Error _ -> raise Exit | Ok () -> ()
+             end
+           done
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let stabilize t =
+  let d = Array.length t.dims in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let rec loop () =
+    t.propagations <- t.propagations + 1;
+    (* Intra-dimension D1/D2 closure. *)
+    let rec dims_prop k =
+      if k >= d then Ok ()
+      else if t.rules.implications then
+        match OG.propagate t.dims.(k) with
+        | Ok () -> dims_prop (k + 1)
+        | Error c -> fail_of c k
+      else Ok ()
+    in
+    let* () = dims_prop 0 in
+    (* Cross-dimension rules on everything that changed. *)
+    let changed = ref false in
+    let rec cross k =
+      if k >= d then Ok ()
+      else begin
+        let since = t.processed.(k) in
+        let now = OG.mark t.dims.(k) in
+        if now > since then begin
+          changed := true;
+          t.processed.(k) <- now;
+          let pairs = OG.changed_pairs t.dims.(k) ~since in
+          let n = Instance.count t.inst in
+          let time_axis = Instance.time_axis t.inst in
+          let rec handle = function
+            | [] -> cross (k + 1)
+            | (u, v) :: rest -> (
+              match OG.kind t.dims.(k) u v with
+              | OG.Component ->
+                let* () = rule_c3 t u v in
+                let* () = rule_component_clique t k u v in
+                let* () = rule_c4_edge t k u v in
+                handle rest
+              | OG.Comparable ->
+                let* () = rule_c2 t k u v in
+                let* () = rule_c4_diagonal t k u v in
+                (* Symmetry breaking: interchangeable tasks that end up
+                   time-comparable always run in index order. *)
+                let* () =
+                  if k = time_axis && u < v && t.symmetric.((u * n) + v) then
+                    match OG.force_arc t.dims.(k) u v with
+                    | Ok () -> Ok ()
+                    | Error c -> fail_of c k
+                  else Ok ()
+                in
+                handle rest
+              | OG.Unknown -> handle rest)
+          in
+          handle pairs
+        end
+        else cross (k + 1)
+      end
+    in
+    let* () = cross 0 in
+    if !changed then loop () else Ok ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(rules = default_rules) ?schedule inst cont =
+  let d = Instance.dim inst in
+  if Container.dim cont <> d then
+    invalid_arg "Packing_state.create: dimension mismatch";
+  let n = Instance.count inst in
+  let t =
+    {
+      inst;
+      cont;
+      dims = Array.init d (fun _ -> OG.create n);
+      processed = Array.make d 0;
+      rules;
+      symmetric = symmetric_pairs inst;
+      propagations = 0;
+    }
+  in
+  let ( let* ) r f = match r with Ok () -> f () | Error msg -> Error msg in
+  (* Width rule: pairs overflowing an axis must overlap there. *)
+  let rec width_pairs u v k =
+    if u >= n then Ok ()
+    else if v >= n then width_pairs (u + 1) (u + 2) 0
+    else if k >= d then width_pairs u (v + 1) 0
+    else begin
+      let* () =
+        if
+          Instance.extent inst u k + Instance.extent inst v k
+          > Container.extent cont k
+        then
+          match OG.set_component t.dims.(k) u v with
+          | Ok () -> Ok ()
+          | Error c -> fail_of c k
+        else Ok ()
+      in
+      width_pairs u v (k + 1)
+    end
+  in
+  let* () = width_pairs 0 1 0 in
+  (* Precedence seeds: arcs force oriented comparability edges in time. *)
+  let ta = Instance.time_axis inst in
+  let rec seed = function
+    | [] -> Ok ()
+    | (u, v) :: rest -> (
+      match OG.force_arc t.dims.(ta) u v with
+      | Ok () -> seed rest
+      | Error c -> fail_of c ta)
+  in
+  let* () = seed (Order.Partial_order.relations (Instance.precedence inst)) in
+  (* A fixed schedule determines the whole time dimension: overlapping
+     execution intervals are component edges, disjoint ones oriented
+     comparability edges (paper Sec. 4: FixedS problems are 2D). *)
+  let* () =
+    match schedule with
+    | None -> Ok ()
+    | Some s ->
+      if Array.length s <> n then
+        invalid_arg "Packing_state.create: schedule arity mismatch";
+      let finish i = s.(i) + Instance.duration inst i in
+      let rec seed_pairs u v =
+        if u >= n then Ok ()
+        else if v >= n then seed_pairs (u + 1) (u + 2)
+        else begin
+          let r =
+            if finish u <= s.(v) then OG.force_arc t.dims.(ta) u v
+            else if finish v <= s.(u) then OG.force_arc t.dims.(ta) v u
+            else OG.set_component t.dims.(ta) u v
+          in
+          match r with
+          | Ok () -> seed_pairs u (v + 1)
+          | Error c -> fail_of c ta
+        end
+      in
+      seed_pairs 0 1
+  in
+  let* () = stabilize t in
+  Ok t
+
+(* ------------------------------------------------------------------ *)
+(* Assignments and branching                                           *)
+(* ------------------------------------------------------------------ *)
+
+let assign_component t ~dim u v =
+  match OG.set_component t.dims.(dim) u v with
+  | Error c -> fail_of c dim
+  | Ok () -> stabilize t
+
+let assign_comparable t ~dim u v =
+  match OG.set_comparable t.dims.(dim) u v with
+  | Error c -> fail_of c dim
+  | Ok () -> stabilize t
+
+let unknown_count t =
+  Array.fold_left (fun acc og -> acc + List.length (OG.unknown_pairs og)) 0 t.dims
+
+let choose_unknown t =
+  (* Branching priorities:
+
+     1. Pairs with no comparable dimension anywhere ("C3 pressure"):
+        these are the pairs that still owe the packing a separation;
+        they drive all real conflicts. Pairs that already own a
+        comparable dimension are trivially satisfiable — deciding them
+        early only pollutes the tree (the per-node realization attempt
+        in the solver usually ends the search before they are touched).
+     2. The time dimension before space: precedence seeds, D1/D2
+        cascades and the tight C2 chains live there, and once time is
+        fully decided the problem collapses to 2D (the paper's FixedS
+        observation).
+     3. Within a dimension, the pair with the largest combined extent
+        relative to the container — the most constrained decision. *)
+  let d = Array.length t.dims in
+  let has_comparable u v =
+    let rec go k =
+      k < d && (OG.kind t.dims.(k) u v = OG.Comparable || go (k + 1))
+    in
+    go 0
+  in
+  let pick ~pressured_only =
+    let best = ref None in
+    let best_score = ref (-1.0) in
+    let consider k =
+      let cap = float_of_int (Container.extent t.cont k) in
+      List.iter
+        (fun (u, v) ->
+          if (not pressured_only) || not (has_comparable u v) then begin
+            let score =
+              float_of_int
+                (Instance.extent t.inst u k + Instance.extent t.inst v k)
+              /. cap
+            in
+            if score > !best_score then begin
+              best_score := score;
+              best := Some (k, u, v)
+            end
+          end)
+        (OG.unknown_pairs t.dims.(k))
+    in
+    (* Time strictly first: its decisions feed the precedence
+       implications and the tight C2 chains, which is where conflicts
+       come from. Only when the (relevant) time pairs are exhausted do
+       we branch in space. *)
+    consider (d - 1);
+    if !best = None then
+      for k = 0 to d - 2 do
+        consider k
+      done;
+    !best
+  in
+  match pick ~pressured_only:true with
+  | Some _ as found -> found
+  | None -> pick ~pressured_only:false

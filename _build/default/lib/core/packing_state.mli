@@ -1,0 +1,91 @@
+(** The packing-class search state: one oriented edge-state store per
+    dimension, kept consistent by cross-dimension propagation.
+
+    The state couples the per-dimension D1/D2 implication closure
+    ({!Order.Oriented_graph}) with the paper's packing-class rules:
+
+    - {b width rule} (initialization): two boxes whose extents overflow
+      the container in some axis can never be disjoint there — the pair
+      is a component edge in that dimension;
+    - {b C3}: a pair overlapping in all dimensions is a conflict;
+      overlapping in all but one forces a comparability edge in the
+      last;
+    - {b C2}: a clique of pairwise-comparable boxes in one dimension is
+      a chain of the eventual interval order; its total extent must fit
+      the container;
+    - {b C1 / chordless 4-cycles}: an induced [C4] in a component graph
+      is forbidden; when a 4-cycle of component edges has one
+      comparability diagonal, the other diagonal is forced to be a
+      component edge;
+    - {b precedence seeds} (initialization): every arc [u -> v] of the
+      (transitively closed) precedence order fixes the pair as a
+      comparability edge of the time dimension oriented [u -> v].
+
+    All mutations are undoable via {!mark} / {!undo_to}, which is what
+    the branch-and-bound search uses for backtracking. *)
+
+type t
+
+(** Toggles for the propagation families — used by the ablation
+    benchmarks; production code uses {!default_rules} (all on). *)
+type rules = {
+  c2_cliques : bool;
+  c4_cycles : bool;
+  implications : bool; (** D1/D2 orientation propagation *)
+  component_cliques : bool;
+      (** Helly cross-section rule: tasks pairwise overlapping in one
+          dimension coexist at a common coordinate there, so their
+          cross-sections must fit the remaining container volume (for
+          the time axis: concurrent tasks cannot exceed the chip's cell
+          count). *)
+}
+
+val default_rules : rules
+
+(** [create ?rules ?schedule instance container] initializes the state:
+    applies the width rule to every pair, seeds the precedence arcs in
+    the time dimension, and runs propagation to a fixpoint. When
+    [schedule] (a start time per task) is given, the time dimension is
+    fully determined from it — the FixedS problems of the paper, which
+    collapse to two spatial dimensions. [Error reason] means the
+    instance is infeasible at the root. *)
+val create :
+  ?rules:rules ->
+  ?schedule:int array ->
+  Instance.t ->
+  Geometry.Container.t ->
+  (t, string) result
+
+val instance : t -> Instance.t
+val container : t -> Geometry.Container.t
+
+(** The per-dimension store (shared, do not mutate directly unless you
+    re-run {!stabilize}). *)
+val dimension : t -> int -> Order.Oriented_graph.t
+
+(** Marks for all dimensions at once. *)
+val mark : t -> int array
+
+val undo_to : t -> int array -> unit
+
+(** [assign_component t ~dim u v] fixes the pair as overlapping in
+    [dim] and propagates to a fixpoint. *)
+val assign_component : t -> dim:int -> int -> int -> (unit, string) result
+
+(** [assign_comparable t ~dim u v] fixes the pair as disjoint in [dim]
+    and propagates to a fixpoint. *)
+val assign_comparable : t -> dim:int -> int -> int -> (unit, string) result
+
+(** Re-run all propagation to a fixpoint (after external mutations). *)
+val stabilize : t -> (unit, string) result
+
+(** Number of pairs still undecided (summed over dimensions). *)
+val unknown_count : t -> int
+
+(** Pick the next branching variable [(dim, u, v)]: an undecided pair
+    maximizing the combined extent relative to the container — the most
+    constrained decision. [None] at a leaf. *)
+val choose_unknown : t -> (int * int * int) option
+
+(** Propagation statistics since creation. *)
+val propagations : t -> int

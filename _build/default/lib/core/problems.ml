@@ -1,0 +1,233 @@
+module Container = Geometry.Container
+module Placement = Geometry.Placement
+
+type 'a optimum = {
+  value : 'a;
+  placement : Placement.t;
+}
+
+let feasible ?options inst cont = Opp_solver.feasible ?options inst cont
+
+let solve_or_fail ?options ?schedule inst cont =
+  match Opp_solver.solve ?options ?schedule inst cont with
+  | Opp_solver.Feasible p, _ -> Some p
+  | Opp_solver.Infeasible, _ -> None
+  | Opp_solver.Timeout, _ -> failwith "Problems: node limit exhausted"
+
+(* Monotone binary search: [pred] is false below the answer and true
+   from the answer on; [lo] may already satisfy it. Returns the witness
+   of the smallest satisfying value. *)
+let binary_search ~lo ~hi ~pred =
+  let rec go lo hi witness =
+    (* invariant: pred hi = Some witness, pred (lo - 1) = None *)
+    if lo >= hi then Some (hi, witness)
+    else
+      let mid = (lo + hi) / 2 in
+      match pred mid with
+      | Some w -> go lo mid w
+      | None -> go (mid + 1) hi witness
+  in
+  match pred hi with
+  | None -> None
+  | Some w -> go lo hi w
+
+let spatial_misfit inst ~w ~h =
+  let bad = ref false in
+  for i = 0 to Instance.count inst - 1 do
+    if Instance.extent inst i 0 > w || Instance.extent inst i 1 > h then
+      bad := true
+  done;
+  !bad
+
+let time_lower_bound inst ~w ~h =
+  let base_area = w * h in
+  let volume_bound = (Instance.total_volume inst + base_area - 1) / base_area in
+  let max_duration =
+    let best = ref 0 in
+    for i = 0 to Instance.count inst - 1 do
+      best := max !best (Instance.duration inst i)
+    done;
+    !best
+  in
+  let probe = Container.make3 ~w ~h ~t_max:1 in
+  max
+    (max (Instance.critical_path inst) volume_bound)
+    (max max_duration (Bounds.exclusion_duration inst probe))
+
+let minimize_time ?options inst ~w ~h =
+  if Instance.dim inst <> 3 then
+    invalid_arg "Problems.minimize_time: expects 3-dimensional instances";
+  if spatial_misfit inst ~w ~h then None
+  else begin
+    let lo = max 1 (time_lower_bound inst ~w ~h) in
+    let base = Container.make3 ~w ~h ~t_max:1 in
+    match Heuristic.makespan inst ~base with
+    | None -> None
+    | Some (hi, hi_placement) ->
+      let hi = max lo hi in
+      let pred t =
+        if t = hi then Some hi_placement
+        else solve_or_fail ?options inst (Container.make3 ~w ~h ~t_max:t)
+      in
+      Option.map
+        (fun (value, placement) -> { value; placement })
+        (binary_search ~lo ~hi ~pred)
+  end
+
+let base_lower_bound inst ~t_max =
+  let spatial = ref 1 in
+  for i = 0 to Instance.count inst - 1 do
+    spatial := max !spatial (max (Instance.extent inst i 0) (Instance.extent inst i 1))
+  done;
+  let volume = Instance.total_volume inst in
+  let rec by_volume s = if s * s * t_max >= volume then s else by_volume (s + 1) in
+  max !spatial (by_volume !spatial)
+
+let minimize_base ?options inst ~t_max =
+  if Instance.dim inst <> 3 then
+    invalid_arg "Problems.minimize_base: expects 3-dimensional instances";
+  if Instance.critical_path inst > t_max then None
+  else begin
+    let lo = base_lower_bound inst ~t_max in
+    let pred s = solve_or_fail ?options inst (Container.make3 ~w:s ~h:s ~t_max) in
+    (* Find a feasible upper end by doubling; the heuristic succeeds
+       once the chip is large enough to hold any antichain, so this
+       terminates quickly. *)
+    let rec find_hi s guard =
+      if guard = 0 then None
+      else
+        match pred s with
+        | Some w -> Some (s, w)
+        | None -> find_hi (2 * s) (guard - 1)
+    in
+    match find_hi lo 24 with
+    | None -> None
+    | Some (hi, _) ->
+      Option.map
+        (fun (value, placement) -> { value; placement })
+        (binary_search ~lo ~hi ~pred)
+  end
+
+let minimize_area_rect ?options inst ~t_max =
+  if Instance.dim inst <> 3 then
+    invalid_arg "Problems.minimize_area_rect: expects 3-dimensional instances";
+  if Instance.critical_path inst > t_max then None
+  else begin
+    let n = Instance.count inst in
+    let max_w = ref 1 and max_h = ref 1 in
+    for i = 0 to n - 1 do
+      max_w := max !max_w (Instance.extent inst i 0);
+      max_h := max !max_h (Instance.extent inst i 1)
+    done;
+    let volume = Instance.total_volume inst in
+    (* Seed the incumbent with the square optimum. A feasible w x h chip
+       embeds in the max(w,h) square, so when no square works no
+       rectangle does either. *)
+    match minimize_base ?options inst ~t_max with
+    | None -> None
+    | Some { value = s; placement = square_placement } ->
+    let best = ref (Some ((s, s), square_placement)) in
+    let best_area = ref (s * s) in
+    let h_floor w = max !max_h ((volume + (w * t_max) - 1) / (w * t_max)) in
+    let w = ref !max_w in
+    let continue_ = ref true in
+    while !continue_ do
+      let w0 = !w in
+      if w0 * h_floor w0 >= !best_area then begin
+        (* Wider chips only raise the area floor further once the width
+           alone exceeds the incumbent. *)
+        if w0 * !max_h >= !best_area then continue_ := false
+        else incr w
+      end
+      else begin
+        let pred h =
+          solve_or_fail ?options inst (Container.make3 ~w:w0 ~h ~t_max)
+        in
+        (* Binary search needs a feasible upper end below the incumbent
+           area; cap h so the area can still improve. *)
+        let h_cap = (!best_area - 1) / w0 in
+        let lo = h_floor w0 in
+        (* Feasibility is monotone in h, so testing the cap decides
+           whether this width can improve on the incumbent at all. *)
+        if lo <= h_cap then
+          (match binary_search ~lo ~hi:h_cap ~pred with
+          | Some (h, placement) when w0 * h < !best_area ->
+            best := Some ((w0, h), placement);
+            best_area := w0 * h
+          | _ -> ());
+        incr w
+      end
+    done;
+    Option.map
+      (fun ((w, h), placement) -> { value = (w, h); placement })
+      !best
+  end
+
+let feasible_fixed_schedule ?options inst ~w ~h ~t_max ~schedule =
+  if Instance.dim inst <> 3 then
+    invalid_arg "Problems.feasible_fixed_schedule: expects 3-dimensional instances";
+  let n = Instance.count inst in
+  if Array.length schedule <> n then
+    invalid_arg "Problems.feasible_fixed_schedule: schedule arity";
+  let within =
+    Array.for_all Fun.id
+      (Array.init n (fun i ->
+           schedule.(i) >= 0 && schedule.(i) + Instance.duration inst i <= t_max))
+  in
+  if
+    (not within)
+    || not
+         (Order.Partial_order.respects (Instance.precedence inst) schedule
+            ~duration:(Instance.duration inst))
+  then None
+  else
+    match
+      solve_or_fail ?options ~schedule inst (Container.make3 ~w ~h ~t_max)
+    with
+    | None -> None
+    | Some p ->
+      (* Substitute the requested start times: the solver's witness has
+         the same time-overlap structure, so spatial disjointness
+         carries over; re-validate to be safe. *)
+      let origins =
+        Array.init n (fun i ->
+            let o = Placement.origin p i in
+            [| o.(0); o.(1); schedule.(i) |])
+      in
+      let q = Placement.make (Instance.boxes inst) origins in
+      let container = Container.make3 ~w ~h ~t_max in
+      if Placement.is_feasible q ~container ~precedes:(Instance.precedes inst)
+      then Some q
+      else None
+
+let minimize_base_fixed_schedule ?options inst ~t_max ~schedule =
+  let lo = base_lower_bound inst ~t_max in
+  let pred s =
+    feasible_fixed_schedule ?options inst ~w:s ~h:s ~t_max ~schedule
+  in
+  let rec find_hi s guard =
+    if guard = 0 then None
+    else match pred s with Some w -> Some (s, w) | None -> find_hi (2 * s) (guard - 1)
+  in
+  match find_hi lo 24 with
+  | None -> None
+  | Some (hi, _) ->
+    Option.map
+      (fun (value, placement) -> { value; placement })
+      (binary_search ~lo ~hi ~pred)
+
+let pareto_front ?options inst ~h_min ~h_max =
+  if h_min > h_max then invalid_arg "Problems.pareto_front: empty range";
+  let points = ref [] in
+  let best_t = ref max_int in
+  for s = h_min to h_max do
+    if !best_t > Instance.critical_path inst then
+      match minimize_time ?options inst ~w:s ~h:s with
+      | None -> ()
+      | Some { value = t; _ } ->
+        if t < !best_t then begin
+          points := (s, t) :: !points;
+          best_t := t
+        end
+  done;
+  List.rev !points

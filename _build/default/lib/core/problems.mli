@@ -1,0 +1,86 @@
+(** The paper's optimization problems, built on the exact OPP decision
+    procedure by monotone search:
+
+    - {b MinT&FindS} (strip packing, SPP): minimize the makespan on a
+      chip of fixed size — {!minimize_time};
+    - {b MinA&FindS} (base minimization, BMP): minimize a quadratic chip
+      for a fixed time budget — {!minimize_base};
+    - {b FeasAT&FindS}: the plain decision problem — {!feasible};
+    - {b FeasA&FixedS} / {b MinA&FixedS}: start times given, only space
+      is searched — {!feasible_fixed_schedule},
+      {!minimize_base_fixed_schedule};
+    - the area/time trade-off curve of Fig. 7 — {!pareto_front}. *)
+
+(** Witness-carrying optimum: the optimal value and a feasible placement
+    attaining it. *)
+type 'a optimum = {
+  value : 'a;
+  placement : Geometry.Placement.t;
+}
+
+(** [feasible ?options instance container] — FeasAT&FindS. *)
+val feasible :
+  ?options:Opp_solver.options -> Instance.t -> Geometry.Container.t -> bool
+
+(** [minimize_time ?options instance ~w ~h] is the smallest makespan
+    [t] such that the tasks fit a [w x h x t] container, or [None] when
+    no makespan works (a task overflows the chip spatially).
+    The search is a binary search between the strongest lower bound
+    (critical path, volume, exclusion cliques) and the stage-2 heuristic
+    makespan. *)
+val minimize_time :
+  ?options:Opp_solver.options -> Instance.t -> w:int -> h:int -> int optimum option
+
+(** [minimize_base ?options instance ~t_max] is the smallest [s] such
+    that the tasks fit a [s x s x t_max] container (quadratic base, as
+    in the paper's Table 1), or [None] when no chip size works (the
+    critical path exceeds [t_max]). *)
+val minimize_base :
+  ?options:Opp_solver.options -> Instance.t -> t_max:int -> int optimum option
+
+(** [minimize_area_rect ?options instance ~t_max] generalizes
+    {!minimize_base} to rectangular chips: the minimum of [w * h] over
+    all chips [w x h] fitting the tasks within [t_max] (module
+    orientation stays fixed, so [w] and [h] are not interchangeable).
+    Returns the dimensions [(w, h)] and a witness. Implemented by
+    sweeping [w] with a per-[w] binary search on [h], pruned by the best
+    area found so far (the square optimum seeds the incumbent). *)
+val minimize_area_rect :
+  ?options:Opp_solver.options ->
+  Instance.t ->
+  t_max:int ->
+  (int * int) optimum option
+
+(** [feasible_fixed_schedule ?options instance ~w ~h ~t_max ~schedule] —
+    FeasA&FixedS: can the tasks be placed on a [w x h] chip when every
+    start time is already fixed? The returned placement carries the
+    given start times. *)
+val feasible_fixed_schedule :
+  ?options:Opp_solver.options ->
+  Instance.t ->
+  w:int ->
+  h:int ->
+  t_max:int ->
+  schedule:int array ->
+  Geometry.Placement.t option
+
+(** [minimize_base_fixed_schedule ?options instance ~t_max ~schedule] —
+    MinA&FixedS: the smallest quadratic chip for a given schedule. *)
+val minimize_base_fixed_schedule :
+  ?options:Opp_solver.options ->
+  Instance.t ->
+  t_max:int ->
+  schedule:int array ->
+  int optimum option
+
+(** [pareto_front ?options instance ~h_min ~h_max] computes the minimal
+    points of the (chip size, makespan) trade-off for quadratic chips
+    [h x h] with [h_min <= h <= h_max]: all pairs [(h, t)] such that no
+    chip in range is simultaneously no larger and strictly faster.
+    Chips below the first feasible size are skipped. *)
+val pareto_front :
+  ?options:Opp_solver.options ->
+  Instance.t ->
+  h_min:int ->
+  h_max:int ->
+  (int * int) list

@@ -1,0 +1,1 @@
+lib/fpga/chip.ml: Format Geometry

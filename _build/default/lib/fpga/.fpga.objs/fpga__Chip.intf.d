@@ -1,0 +1,1 @@
+lib/fpga/chip.mli: Format Geometry

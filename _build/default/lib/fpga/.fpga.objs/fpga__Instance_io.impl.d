@@ -1,0 +1,1 @@
+lib/fpga/instance_io.ml: Array Buffer Chip Geometry Hashtbl List Module_library Order Packing Printf String

@@ -1,0 +1,1 @@
+lib/fpga/instance_io.mli: Chip Packing

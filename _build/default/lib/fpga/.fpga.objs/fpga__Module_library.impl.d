@@ -1,0 +1,1 @@
+lib/fpga/module_library.ml: Array Format Geometry Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/fpga/module_library.mli: Format Geometry

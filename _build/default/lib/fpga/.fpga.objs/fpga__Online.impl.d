@@ -1,0 +1,1 @@
+lib/fpga/online.ml: Array Chip Fun Geometry List Order Packing

@@ -1,0 +1,1 @@
+lib/fpga/online.mli: Chip Geometry Packing

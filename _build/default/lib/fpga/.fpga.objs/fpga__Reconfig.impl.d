@@ -1,0 +1,1 @@
+lib/fpga/reconfig.ml: Array Format Geometry

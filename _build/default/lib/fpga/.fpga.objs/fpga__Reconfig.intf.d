@@ -1,0 +1,1 @@
+lib/fpga/reconfig.mli: Format Geometry

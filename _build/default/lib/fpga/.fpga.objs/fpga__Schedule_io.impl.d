@@ -1,0 +1,1 @@
+lib/fpga/schedule_io.ml: Array Buffer Geometry Hashtbl List Option Packing Printf String

@@ -1,0 +1,1 @@
+lib/fpga/schedule_io.mli: Geometry Packing

@@ -1,0 +1,1 @@
+lib/fpga/simulator.ml: Array Chip Format Fun Geometry List Order Packing Printf

@@ -1,0 +1,1 @@
+lib/fpga/simulator.mli: Chip Format Geometry Packing

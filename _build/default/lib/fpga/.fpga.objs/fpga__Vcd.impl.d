@@ -1,0 +1,1 @@
+lib/fpga/vcd.ml: Array Buffer Char Chip Geometry Packing Printf String

@@ -1,0 +1,1 @@
+lib/fpga/vcd.mli: Chip Geometry Packing

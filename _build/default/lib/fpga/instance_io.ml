@@ -1,0 +1,136 @@
+module Box = Geometry.Box
+
+type t = {
+  instance : Packing.Instance.t;
+  chip : Chip.t option;
+  t_max : int option;
+}
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> failwith (Printf.sprintf "line %d: %s" line s)) fmt
+
+let int_of line s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail line "expected an integer, got %S" s
+
+let parse text =
+  let name = ref "instance" in
+  let chip = ref None in
+  let t_max = ref None in
+  let modules : (string, Module_library.module_type) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let tasks = ref [] in
+  (* (label, box) in reverse order *)
+  let deps = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let words =
+        List.filter (fun w -> w <> "") (String.split_on_char ' '
+          (String.map (function '\t' | '\r' -> ' ' | c -> c) line))
+      in
+      match words with
+      | [] -> ()
+      | [ "name"; n ] -> name := n
+      | [ "chip"; w; h ] ->
+        chip := Some (Chip.create ~w:(int_of lineno w) ~h:(int_of lineno h))
+      | [ "time"; t ] -> t_max := Some (int_of lineno t)
+      | "module" :: type_name :: w :: h :: exec :: rest ->
+        let reconfig_time =
+          match rest with
+          | [] -> 0
+          | [ r ] -> int_of lineno r
+          | _ -> fail lineno "too many fields for module"
+        in
+        if Hashtbl.mem modules type_name then
+          fail lineno "duplicate module type %s" type_name;
+        Hashtbl.add modules type_name
+          {
+            Module_library.type_name;
+            width = int_of lineno w;
+            height = int_of lineno h;
+            exec_time = int_of lineno exec;
+            reconfig_time;
+          }
+      | [ "task"; label; type_name ] -> (
+        match Hashtbl.find_opt modules type_name with
+        | None -> fail lineno "unknown module type %s" type_name
+        | Some mt ->
+          if List.mem_assoc label !tasks then
+            fail lineno "duplicate task %s" label;
+          tasks := (label, Module_library.box mt) :: !tasks)
+      | [ "task"; label; w; h; d ] ->
+        if List.mem_assoc label !tasks then fail lineno "duplicate task %s" label;
+        let box =
+          try
+            Box.make3 ~w:(int_of lineno w) ~h:(int_of lineno h)
+              ~duration:(int_of lineno d)
+          with Invalid_argument m -> fail lineno "%s" m
+        in
+        tasks := (label, box) :: !tasks
+      | [ "dep"; a; b ] -> deps := (lineno, a, b) :: !deps
+      | w :: _ -> fail lineno "unknown directive %s" w)
+    lines;
+  let tasks = List.rev !tasks in
+  if tasks = [] then failwith "no tasks in instance";
+  let labels = Array.of_list (List.map fst tasks) in
+  let boxes = Array.of_list (List.map snd tasks) in
+  let index_of line label =
+    let rec go i = function
+      | [] -> fail line "unknown task %s in dep" label
+      | (l, _) :: rest -> if l = label then i else go (i + 1) rest
+    in
+    go 0 tasks
+  in
+  let precedence =
+    List.rev_map (fun (line, a, b) -> (index_of line a, index_of line b)) !deps
+  in
+  let instance =
+    try Packing.Instance.make ~name:!name ~labels ~precedence ~boxes ()
+    with Invalid_argument m -> failwith m
+  in
+  { instance; chip = !chip; t_max = !t_max }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let print t =
+  let inst = t.instance in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "name %s\n" (Packing.Instance.name inst));
+  (match t.chip with
+  | Some c ->
+    Buffer.add_string buf
+      (Printf.sprintf "chip %d %d\n" (Chip.width c) (Chip.height c))
+  | None -> ());
+  (match t.t_max with
+  | Some tm -> Buffer.add_string buf (Printf.sprintf "time %d\n" tm)
+  | None -> ());
+  for i = 0 to Packing.Instance.count inst - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "task %s %d %d %d\n"
+         (Packing.Instance.label inst i)
+         (Packing.Instance.extent inst i 0)
+         (Packing.Instance.extent inst i 1)
+         (Packing.Instance.duration inst i))
+  done;
+  List.iter
+    (fun (u, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "dep %s %s\n"
+           (Packing.Instance.label inst u)
+           (Packing.Instance.label inst v)))
+    (Order.Partial_order.covers (Packing.Instance.precedence inst));
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Plain-text instance format (parser and printer).
+
+    Grammar, one directive per line ([#] starts a comment):
+
+    {v
+    name <string>                      # optional instance name
+    chip <w> <h>                       # optional target chip
+    time <t_max>                       # optional makespan budget
+    module <type> <w> <h> <exec> [<reconfig>]   # module-type declaration
+    task <label> <type>                # task referencing a module type
+    task <label> <w> <h> <duration>    # task with explicit geometry
+    dep <label> <label>                # precedence arc (producer consumer)
+    v}
+
+    Example:
+
+    {v
+    name DE
+    chip 32 32
+    time 14
+    module MUL 16 16 2
+    module ALU 16 1 1
+    task v1 MUL
+    task v4 ALU
+    dep v1 v4
+    v} *)
+
+type t = {
+  instance : Packing.Instance.t;
+  chip : Chip.t option;
+  t_max : int option;
+}
+
+(** [parse text] reads the format above.
+    @raise Failure with a line-numbered message on syntax errors,
+    unknown module types or labels, duplicate labels, or cyclic
+    dependencies. *)
+val parse : string -> t
+
+(** [parse_file path] reads and parses a file. *)
+val parse_file : string -> t
+
+(** [print t] renders a parseable representation (module types are
+    expanded into explicit task geometry). *)
+val print : t -> string

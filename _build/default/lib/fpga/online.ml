@@ -1,0 +1,277 @@
+module Instance = Packing.Instance
+module PO = Order.Partial_order
+
+type arrival = {
+  task : int;
+  arrival_time : int;
+}
+
+type event =
+  | Placed of { task : int; x : int; y : int; time : int }
+  | Deferred of { task : int; until : int }
+  | Compacted of { moved : int list; time : int }
+  | Rejected of { task : int }
+
+type report = {
+  events : event list;
+  makespan : int;
+  placed : int;
+  rejected : int;
+  compactions : int;
+  placement : Geometry.Placement.t option;
+}
+
+type running = {
+  id : int;
+  mutable x : int;
+  mutable y : int;
+  start : int;
+  mutable finish : int;
+}
+
+let overlaps_running inst a ~x ~y ~task =
+  let w = Instance.extent inst task 0 and h = Instance.extent inst task 1 in
+  let aw = Instance.extent inst a.id 0 and ah = Instance.extent inst a.id 1 in
+  x < a.x + aw && a.x < x + w && y < a.y + ah && a.y < y + h
+
+(* Corner candidates against a set of running tasks. *)
+let find_spot inst chip running ~task =
+  let w = Instance.extent inst task 0 and h = Instance.extent inst task 1 in
+  if w > Chip.width chip || h > Chip.height chip then None
+  else begin
+    let xs = ref [ 0 ] and ys = ref [ 0 ] in
+    List.iter
+      (fun a ->
+        xs := (a.x + Instance.extent inst a.id 0) :: !xs;
+        ys := (a.y + Instance.extent inst a.id 1) :: !ys)
+      running;
+    let best = ref None in
+    List.iter
+      (fun y ->
+        List.iter
+          (fun x ->
+            if
+              !best = None
+              && x + w <= Chip.width chip
+              && y + h <= Chip.height chip
+              && not (List.exists (overlaps_running inst ~x ~y ~task) running)
+            then best := Some (x, y))
+          (List.sort_uniq compare !xs))
+      (List.sort_uniq compare !ys);
+    !best
+  end
+
+(* Bottom-left re-pack of the running set; returns the list of moved
+   tasks, or None when the greedy pass fails (positions untouched). *)
+let compact inst chip running =
+  let by_area =
+    List.sort
+      (fun a b ->
+        compare
+          (Instance.extent inst b.id 0 * Instance.extent inst b.id 1, a.id)
+          (Instance.extent inst a.id 0 * Instance.extent inst a.id 1, b.id))
+      running
+  in
+  let proposed = ref [] in
+  let ok =
+    List.for_all
+      (fun a ->
+        match find_spot inst chip !proposed ~task:a.id with
+        | None -> false
+        | Some (x, y) ->
+          proposed := { a with x; y } :: !proposed;
+          true)
+      by_area
+  in
+  if not ok then None
+  else begin
+    let moved = ref [] in
+    List.iter
+      (fun p ->
+        let a = List.find (fun a -> a.id = p.id) running in
+        if a.x <> p.x || a.y <> p.y then begin
+          a.x <- p.x;
+          a.y <- p.y;
+          moved := a.id :: !moved
+        end)
+      !proposed;
+    Some (List.sort compare !moved)
+  end
+
+let run inst arrivals ~chip ~compaction ~move_delay =
+  let n = Instance.count inst in
+  let seen = Array.make n false in
+  List.iter
+    (fun a ->
+      if a.task < 0 || a.task >= n then invalid_arg "Online.run: bad task";
+      if seen.(a.task) then invalid_arg "Online.run: duplicate arrival";
+      seen.(a.task) <- true)
+    arrivals;
+  if move_delay < 0 then invalid_arg "Online.run: negative move delay";
+  let p = Instance.precedence inst in
+  let arrival = Array.make n max_int in
+  List.iter (fun a -> arrival.(a.task) <- a.arrival_time) arrivals;
+  let state = Array.make n `Pending in
+  let running : running list ref = ref [] in
+  let record = Array.make n None in
+  (* (x, y, start, finish, moved) *)
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let compactions = ref 0 in
+  let any_moved = ref false in
+  let finish_of i =
+    match record.(i) with Some (_, _, _, f, _) -> f | None -> max_int
+  in
+  let eligible_at i =
+    (* Arrival, and all producers placed and finished. *)
+    if arrival.(i) = max_int then None
+    else begin
+      let t = ref arrival.(i) in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if u <> i && PO.precedes p u i then
+          match state.(u) with
+          | `Done -> t := max !t (finish_of u)
+          | `Rejected -> ok := false
+          | `Pending -> ok := false
+        else ()
+      done;
+      if !ok then Some !t
+      else if
+        List.exists
+          (fun u -> u <> i && PO.precedes p u i && state.(u) = `Rejected)
+          (List.init n Fun.id)
+      then Some (-1) (* producer rejected: reject now *)
+      else None (* producer still pending: wait *)
+    end
+  in
+  let rec step clock =
+    (* Retire finished tasks from the running set. *)
+    running := List.filter (fun a -> a.finish > clock) !running;
+    (* Try to start everything eligible now, largest first. *)
+    let progress = ref false in
+    let try_task i =
+      if state.(i) = `Pending then
+        match eligible_at i with
+        | Some t when t < 0 ->
+          state.(i) <- `Rejected;
+          push (Rejected { task = i });
+          progress := true
+        | Some t when t <= clock -> (
+          let place_at x y =
+            let f = clock + Instance.duration inst i in
+            let a = { id = i; x; y; start = clock; finish = f } in
+            running := a :: !running;
+            record.(i) <- Some (x, y, clock, f, false);
+            state.(i) <- `Done;
+            push (Placed { task = i; x; y; time = clock });
+            progress := true
+          in
+          match find_spot inst chip !running ~task:i with
+          | Some (x, y) -> place_at x y
+          | None ->
+            if !running = [] then begin
+              (* Fails on an empty chip: can never fit. *)
+              state.(i) <- `Rejected;
+              push (Rejected { task = i });
+              progress := true
+            end
+            else if compaction then begin
+              match compact inst chip !running with
+              | Some [] | None -> ()
+              | Some moved ->
+                incr compactions;
+                any_moved := true;
+                List.iter
+                  (fun m ->
+                    let a = List.find (fun a -> a.id = m) !running in
+                    a.finish <- a.finish + move_delay;
+                    match record.(m) with
+                    | Some (_, _, s, f, _) ->
+                      record.(m) <- Some (a.x, a.y, s, f + move_delay, true)
+                    | None -> ())
+                  moved;
+                push (Compacted { moved; time = clock });
+                (match find_spot inst chip !running ~task:i with
+                | Some (x, y) -> place_at x y
+                | None -> ())
+            end)
+        | _ -> ()
+    in
+    let order =
+      List.sort
+        (fun a b ->
+          compare
+            (Instance.extent inst b 0 * Instance.extent inst b 1, a)
+            (Instance.extent inst a 0 * Instance.extent inst a 1, b))
+        (List.init n Fun.id)
+    in
+    List.iter try_task order;
+    if !progress then step clock
+    else begin
+      (* Advance to the next interesting time. *)
+      let next = ref max_int in
+      List.iter (fun a -> if a.finish > clock then next := min !next a.finish) !running;
+      for i = 0 to n - 1 do
+        if state.(i) = `Pending then begin
+          if arrival.(i) > clock && arrival.(i) < max_int then
+            next := min !next arrival.(i);
+          match eligible_at i with
+          | Some t when t > clock -> next := min !next t
+          | _ -> ()
+        end
+      done;
+      if !next < max_int then begin
+        (* Record deferrals for tasks that were ready but blocked. *)
+        for i = 0 to n - 1 do
+          if state.(i) = `Pending then
+            match eligible_at i with
+            | Some t when t >= 0 && t <= clock ->
+              push (Deferred { task = i; until = !next })
+            | _ -> ()
+        done;
+        step !next
+      end
+    end
+  in
+  let first_time =
+    List.fold_left (fun acc a -> min acc a.arrival_time) max_int arrivals
+  in
+  if first_time < max_int then step first_time;
+  (* Anything still pending at quiescence is unplaceable (cyclic waits
+     cannot happen: precedence is acyclic). *)
+  for i = 0 to n - 1 do
+    if state.(i) = `Pending && arrival.(i) < max_int then begin
+      state.(i) <- `Rejected;
+      push (Rejected { task = i })
+    end
+  done;
+  let placed = ref 0 and rejected = ref 0 and makespan = ref 0 in
+  for i = 0 to n - 1 do
+    match state.(i) with
+    | `Done ->
+      incr placed;
+      makespan := max !makespan (finish_of i)
+    | `Rejected -> incr rejected
+    | `Pending -> ()
+  done;
+  let placement =
+    if (not !any_moved) && !rejected = 0 && !placed = n && n > 0 then begin
+      let origins =
+        Array.init n (fun i ->
+            match record.(i) with
+            | Some (x, y, s, _, _) -> [| x; y; s |]
+            | None -> [| 0; 0; 0 |])
+      in
+      Some (Geometry.Placement.make (Instance.boxes inst) origins)
+    end
+    else None
+  in
+  {
+    events = List.rev !events;
+    makespan = !makespan;
+    placed = !placed;
+    rejected = !rejected;
+    compactions = !compactions;
+    placement;
+  }

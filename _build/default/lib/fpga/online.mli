@@ -1,0 +1,55 @@
+(** Online placement of dynamically arriving tasks — the run-time
+    scenario the paper contrasts itself against (its refs [3,4], Diessel
+    & ElGhindy's run-time compaction).
+
+    Tasks arrive over time; each must be placed on free cells when (or
+    after) it arrives and then occupies its footprint for its duration.
+    The manager places greedily at corner positions; an optional
+    {e compaction} pass re-packs the currently running tasks toward the
+    origin whenever an arrival cannot be placed, modeling partial
+    rearrangement (running tasks keep executing; the model charges a
+    fixed per-moved-task delay).
+
+    This is deliberately a heuristic substrate: comparing its makespan
+    against the exact offline optimum from {!Packing.Problems} is the
+    quantitative version of the paper's argument for compile-time
+    optimization. *)
+
+type arrival = {
+  task : int; (** index into the instance *)
+  arrival_time : int;
+}
+
+type event =
+  | Placed of { task : int; x : int; y : int; time : int }
+  | Deferred of { task : int; until : int }
+      (** no space at the attempted time; retried at the next finish *)
+  | Compacted of { moved : int list; time : int }
+  | Rejected of { task : int }
+      (** the task can never fit (larger than the chip) *)
+
+type report = {
+  events : event list; (** chronological *)
+  makespan : int; (** completion of the last placed task *)
+  placed : int;
+  rejected : int;
+  compactions : int;
+  placement : Geometry.Placement.t option;
+      (** the realized space-time placement when {e all} tasks were
+          placed and no compaction moved a running task mid-execution
+          (a moved task has no single space-time box); [None] otherwise *)
+}
+
+(** [run instance arrivals ~chip ~compaction ~move_delay] simulates
+    online arrival order. [arrivals] must mention each task at most
+    once; precedence constraints of the instance are honored (a task
+    becomes eligible at the maximum of its arrival and its producers'
+    finish times). [move_delay] is the extra delay (in cycles) per moved
+    task during a compaction. *)
+val run :
+  Packing.Instance.t ->
+  arrival list ->
+  chip:Chip.t ->
+  compaction:bool ->
+  move_delay:int ->
+  report

@@ -1,0 +1,1 @@
+lib/geometry/box.ml: Array Format

@@ -1,0 +1,1 @@
+lib/geometry/container.ml: Array Box Format Fun

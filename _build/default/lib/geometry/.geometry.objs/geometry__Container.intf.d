@@ -1,0 +1,1 @@
+lib/geometry/container.mli: Box Format

@@ -1,0 +1,1 @@
+lib/geometry/placement.ml: Array Box Container Format Interval List

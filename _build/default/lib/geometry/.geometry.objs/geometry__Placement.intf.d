@@ -1,0 +1,1 @@
+lib/geometry/placement.mli: Box Container Format Interval

@@ -1,0 +1,1 @@
+lib/geometry/render.ml: Array Box Buffer Container List Placement Printf String

@@ -1,0 +1,1 @@
+lib/geometry/render.mli: Container Placement

@@ -1,0 +1,1 @@
+lib/geometry/svg.ml: Array Box Buffer Container List Placement Printf String

@@ -1,0 +1,1 @@
+lib/geometry/svg.mli: Container Placement

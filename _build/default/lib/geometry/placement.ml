@@ -1,0 +1,87 @@
+type t = {
+  boxes : Box.t array;
+  origins : int array array;
+}
+
+let make boxes origins =
+  if Array.length boxes <> Array.length origins then
+    invalid_arg "Placement.make: box/origin count mismatch";
+  Array.iteri
+    (fun i o ->
+      if Array.length o <> Box.dim boxes.(i) then
+        invalid_arg "Placement.make: origin arity mismatch")
+    origins;
+  { boxes = Array.copy boxes; origins = Array.map Array.copy origins }
+
+let count p = Array.length p.boxes
+let box p i = p.boxes.(i)
+let origin p i = Array.copy p.origins.(i)
+
+let interval p i k =
+  Interval.make ~lo:p.origins.(i).(k) ~len:(Box.extent p.boxes.(i) k)
+
+let time_axis p i = Box.dim p.boxes.(i) - 1
+let start_time p i = p.origins.(i).(time_axis p i)
+let finish_time p i = start_time p i + Box.extent p.boxes.(i) (time_axis p i)
+
+let makespan p =
+  let best = ref 0 in
+  for i = 0 to count p - 1 do
+    best := max !best (finish_time p i)
+  done;
+  !best
+
+type violation =
+  | Out_of_bounds of int
+  | Boxes_overlap of int * int
+  | Precedence_violated of int * int
+
+let check p ~container ~precedes =
+  let n = count p in
+  let d = Container.dim container in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  for i = 0 to n - 1 do
+    if Box.dim p.boxes.(i) <> d then
+      invalid_arg "Placement.check: dimension mismatch with container";
+    let inside = ref true in
+    for k = 0 to d - 1 do
+      if not (Interval.within (interval p i k) ~bound:(Container.extent container k))
+      then inside := false
+    done;
+    if not !inside then add (Out_of_bounds i)
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let disjoint_somewhere = ref false in
+      for k = 0 to d - 1 do
+        if Interval.disjoint (interval p i k) (interval p j k) then
+          disjoint_somewhere := true
+      done;
+      if not !disjoint_somewhere then add (Boxes_overlap (i, j))
+    done
+  done;
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && precedes u v && start_time p v < finish_time p u then
+        add (Precedence_violated (u, v))
+    done
+  done;
+  List.rev !violations
+
+let is_feasible p ~container ~precedes = check p ~container ~precedes = []
+
+let pp_violation fmt = function
+  | Out_of_bounds i -> Format.fprintf fmt "box %d out of bounds" i
+  | Boxes_overlap (i, j) -> Format.fprintf fmt "boxes %d and %d overlap" i j
+  | Precedence_violated (u, v) ->
+    Format.fprintf fmt "task %d starts before its predecessor %d finishes" v u
+
+let pp fmt p =
+  for i = 0 to count p - 1 do
+    Format.fprintf fmt "@[box %d: %a at (%a)@]@." i Box.pp p.boxes.(i)
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         Format.pp_print_int)
+      (Array.to_list p.origins.(i))
+  done

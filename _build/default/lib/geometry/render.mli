@@ -1,0 +1,17 @@
+(** ASCII rendering of space-time placements.
+
+    Renders the chip occupancy at chosen time steps, one character per
+    cell; boxes are labelled ['A'], ['B'], ... by index (wrapping after
+    62 symbols). Intended for examples, debugging and the CLI. *)
+
+(** [slice p ~container ~time] is the chip occupancy at clock cycle
+    [time] as a list of strings (row 0 first). Empty cells are ['.']. *)
+val slice : Placement.t -> container:Container.t -> time:int -> string list
+
+(** [timeline p ~container] renders the slice at every cycle where the
+    set of running boxes changes, with headers [-- t=... --]. *)
+val timeline : Placement.t -> container:Container.t -> string
+
+(** [gantt p] renders a one-line-per-box time chart, ignoring spatial
+    coordinates. *)
+val gantt : Placement.t -> string

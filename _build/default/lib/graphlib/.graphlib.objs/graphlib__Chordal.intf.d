@@ -1,0 +1,1 @@
+lib/graphlib/chordal.mli: Undirected

@@ -1,0 +1,1 @@
+lib/graphlib/cliques.ml: Array Fun List Undirected

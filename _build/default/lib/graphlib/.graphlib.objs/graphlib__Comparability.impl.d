@@ -1,0 +1,1 @@
+lib/graphlib/comparability.ml: Digraph Hashtbl List Queue Undirected

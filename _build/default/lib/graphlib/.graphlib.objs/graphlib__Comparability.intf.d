@@ -1,0 +1,1 @@
+lib/graphlib/comparability.mli: Digraph Undirected

@@ -1,0 +1,1 @@
+lib/graphlib/generators.ml: Array Digraph List Random Undirected

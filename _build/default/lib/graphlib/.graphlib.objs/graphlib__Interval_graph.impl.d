@@ -1,0 +1,1 @@
+lib/graphlib/interval_graph.ml: Array Chordal Comparability Digraph Fun List Undirected

@@ -1,0 +1,1 @@
+lib/graphlib/interval_graph.mli: Undirected

@@ -1,0 +1,1 @@
+lib/graphlib/lexbfs.ml: Array Chordal Fun List Undirected

@@ -1,0 +1,1 @@
+lib/graphlib/undirected.mli: Format

@@ -1,0 +1,98 @@
+let mcs_order g =
+  let n = Undirected.order g in
+  let weight = Array.make n 0 in
+  let picked = Array.make n false in
+  let order = Array.make n 0 in
+  (* MCS numbers vertices from n-1 down to 0; position 0 of [order] is
+     eliminated first, matching the PEO convention. *)
+  for pos = n - 1 downto 0 do
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not picked.(v)) && (!best < 0 || weight.(v) > weight.(!best)) then
+        best := v
+    done;
+    let v = !best in
+    picked.(v) <- true;
+    order.(pos) <- v;
+    List.iter
+      (fun w -> if not picked.(w) then weight.(w) <- weight.(w) + 1)
+      (Undirected.neighbors g v)
+  done;
+  order
+
+let is_peo g order =
+  let n = Undirected.order g in
+  if Array.length order <> n then
+    invalid_arg "Chordal.is_peo: ordering has wrong length";
+  let position = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= n || position.(v) >= 0 then
+        invalid_arg "Chordal.is_peo: ordering is not a permutation";
+      position.(v) <- i)
+    order;
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let v = order.(i) in
+    let later =
+      List.filter (fun w -> position.(w) > i) (Undirected.neighbors g v)
+    in
+    (* It suffices to check that the earliest later neighbor is adjacent
+       to all other later neighbors (Tarjan-Yannakakis test). *)
+    match later with
+    | [] -> ()
+    | _ ->
+      let u =
+        List.fold_left
+          (fun a b -> if position.(b) < position.(a) then b else a)
+          (List.hd later) later
+      in
+      List.iter
+        (fun w -> if w <> u && not (Undirected.mem_edge g u w) then ok := false)
+        later
+  done;
+  !ok
+
+let is_chordal g = is_peo g (mcs_order g)
+
+let find_chordless_cycle g =
+  let n = Undirected.order g in
+  let result = ref None in
+  (* Enumerate induced cycles by DFS over induced paths anchored at their
+     minimum vertex. Exponential in the worst case; used only for
+     diagnostics on small graphs. *)
+  (* [path] is an induced path [last; ...; start] whose internal
+     vertices are non-adjacent to [start]. A neighbor [w] of [last]
+     extends it if it is non-adjacent to every earlier path vertex; if
+     [w] is moreover adjacent to [start] and the cycle has length >= 4,
+     we found a chordless cycle. *)
+  let rec extend start path =
+    if !result <> None then ()
+    else
+      match path with
+      | [] -> assert false
+      | last :: rest ->
+        let extend_with w =
+          if
+            !result = None && w > start
+            && (not (List.mem w path))
+            && List.for_all
+                 (fun v -> v = start || not (Undirected.mem_edge g v w))
+                 rest
+          then
+            if Undirected.mem_edge g w start then begin
+              if List.length path + 1 >= 4 then
+                result := Some (List.rev (w :: path))
+            end
+            else extend start (w :: path)
+        in
+        List.iter extend_with (Undirected.neighbors g last)
+  in
+  let v = ref 0 in
+  while !result = None && !v < n do
+    List.iter
+      (fun w -> if !result = None && w > !v then extend !v [ w; !v ])
+      (Undirected.neighbors g !v);
+    incr v
+  done;
+  !result

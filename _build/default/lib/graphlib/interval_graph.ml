@@ -1,0 +1,113 @@
+let is_interval g =
+  Chordal.is_chordal g && Comparability.is_comparability (Undirected.complement g)
+
+let separates g ~length c =
+  let n = Undirected.order g in
+  let disjoint u v =
+    c.(u) + length u <= c.(v) || c.(v) + length v <= c.(u)
+  in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if (not (Undirected.mem_edge g u v)) && not (disjoint u v) then ok := false
+    done
+  done;
+  !ok
+
+let placement g ~length =
+  let n = Undirected.order g in
+  for v = 0 to n - 1 do
+    if length v <= 0 then invalid_arg "Interval_graph.placement: length <= 0"
+  done;
+  match Comparability.transitive_orientation (Undirected.complement g) with
+  | None -> None
+  | Some d ->
+    let c = Digraph.longest_path_lengths d ~weight:length in
+    assert (separates g ~length c);
+    Some c
+
+let maximal_cliques g =
+  let n = Undirected.order g in
+  let cliques = ref [] in
+  (* Bron-Kerbosch with pivoting; candidate/excluded sets as int lists. *)
+  let rec bk r p x =
+    if p = [] && x = [] then cliques := List.sort compare r :: !cliques
+    else begin
+      let pivot =
+        let candidates = p @ x in
+        List.fold_left
+          (fun best u ->
+            let du = List.length (List.filter (Undirected.mem_edge g u) p) in
+            match best with
+            | Some (_, db) when db >= du -> best
+            | _ -> Some (u, du))
+          None candidates
+      in
+      let pivot_nbrs =
+        match pivot with
+        | None -> []
+        | Some (u, _) -> List.filter (Undirected.mem_edge g u) p
+      in
+      let to_try = List.filter (fun v -> not (List.mem v pivot_nbrs)) p in
+      let p = ref p and x = ref x in
+      List.iter
+        (fun v ->
+          let nb u = Undirected.mem_edge g v u in
+          bk (v :: r) (List.filter nb !p) (List.filter nb !x);
+          p := List.filter (fun u -> u <> v) !p;
+          x := v :: !x)
+        to_try
+    end
+  in
+  bk [] (List.init n Fun.id) [];
+  List.sort compare !cliques
+
+let is_exact_model g (l, r) =
+  let n = Undirected.order g in
+  Array.length l = n && Array.length r = n
+  &&
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    if l.(u) > r.(u) then ok := false;
+    for v = u + 1 to n - 1 do
+      let overlap = l.(u) <= r.(v) && l.(v) <= r.(u) in
+      if overlap <> Undirected.mem_edge g u v then ok := false
+    done
+  done;
+  !ok
+
+let exact_model g =
+  let n = Undirected.order g in
+  if n = 0 then Some ([||], [||])
+  else
+    match Comparability.transitive_orientation (Undirected.complement g) with
+    | None -> None
+    | Some d ->
+      if not (Chordal.is_chordal g) then None
+      else begin
+        let cliques = Array.of_list (maximal_cliques g) in
+        (* Order maximal cliques along the interval order: A before B iff
+           some a in A \ B precedes some b in B \ A in the orientation of
+           the complement. For interval graphs this comparator is a
+           linear order giving a consecutive arrangement. *)
+        let before a b =
+          let a_only = List.filter (fun v -> not (List.mem v b)) a in
+          let b_only = List.filter (fun v -> not (List.mem v a)) b in
+          List.exists
+            (fun u -> List.exists (fun v -> Digraph.mem_arc d u v) b_only)
+            a_only
+        in
+        let cmp a b = if a = b then 0 else if before a b then -1 else 1 in
+        Array.sort cmp cliques;
+        let l = Array.make n max_int and r = Array.make n min_int in
+        Array.iteri
+          (fun i clique ->
+            List.iter
+              (fun v ->
+                l.(v) <- min l.(v) i;
+                r.(v) <- max r.(v) i)
+              clique)
+          cliques;
+        let model = (l, r) in
+        if is_exact_model g model then Some model else None
+      end

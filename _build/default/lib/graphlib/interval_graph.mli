@@ -1,0 +1,47 @@
+(** Interval graph recognition and interval-model construction.
+
+    A graph is an interval graph iff it is chordal and its complement is
+    a comparability graph (Gilmore & Hoffman). This is condition C1 of
+    packing classes: each component graph [G_k] must be an interval
+    graph.
+
+    Two constructions are provided:
+    - {!placement} is the packing primitive (Theorem 1, constructive
+      direction): transitively orient the complement and place every
+      vertex at its weighted longest-path coordinate. Non-adjacent
+      vertices are guaranteed disjoint; adjacent vertices {e may} also
+      end up disjoint (which never hurts a packing).
+    - {!exact_model} produces a certificate interval model that realizes
+      adjacency exactly, using the consecutive ordering of maximal
+      cliques; interval lengths are determined by the clique order, not
+      prescribed. *)
+
+(** [is_interval g] is [true] iff [g] is an interval graph. *)
+val is_interval : Undirected.t -> bool
+
+(** [placement g ~length] computes left endpoints [c] such that
+    intervals [[c.(v), c.(v) + length v)] of {e non-adjacent} vertices
+    are disjoint, and the total span is the maximum weight of a chain in
+    some transitive orientation of the complement. Lengths must be
+    positive. Returns [None] when the complement of [g] is not a
+    comparability graph (in particular whenever [g] is not an interval
+    graph). *)
+val placement : Undirected.t -> length:(int -> int) -> int array option
+
+(** [exact_model g] is [Some (l, r)] with closed integer intervals
+    [[l.(v), r.(v)]] overlapping exactly when [{u,v}] is an edge of [g];
+    [None] iff [g] is not an interval graph. The result is verified
+    before being returned. *)
+val exact_model : Undirected.t -> (int array * int array) option
+
+(** [separates g ~length c] checks the placement guarantee: intervals of
+    non-adjacent vertices are disjoint. *)
+val separates : Undirected.t -> length:(int -> int) -> int array -> bool
+
+(** [is_exact_model g (l, r)] checks that the closed intervals realize
+    the adjacency of [g] exactly. *)
+val is_exact_model : Undirected.t -> int array * int array -> bool
+
+(** [maximal_cliques g] lists all maximal cliques (Bron–Kerbosch), each
+    sorted; intended for small graphs. *)
+val maximal_cliques : Undirected.t -> int list list

@@ -1,0 +1,36 @@
+(* Partition-refinement LexBFS: maintain an ordered list of classes;
+   visiting a vertex splits every class into (neighbors, others), with
+   neighbors moving ahead. O(n^2) with simple lists — ample for the
+   graph sizes handled here. *)
+
+let order g ?(start = 0) () =
+  let n = Undirected.order g in
+  if n = 0 then [||]
+  else begin
+    if start < 0 || start >= n then invalid_arg "Lexbfs.order: bad start";
+    let initial = start :: List.filter (fun v -> v <> start) (List.init n Fun.id) in
+    let visit = Array.make n (-1) in
+    let rec loop classes pos =
+      match classes with
+      | [] -> ()
+      | [] :: rest -> loop rest pos
+      | (v :: members) :: rest ->
+        visit.(pos) <- v;
+        let refine cls =
+          let nbrs, others =
+            List.partition (fun u -> Undirected.mem_edge g u v) cls
+          in
+          List.filter (fun c -> c <> []) [ nbrs; others ]
+        in
+        loop (List.concat_map refine (members :: rest)) (pos + 1)
+    in
+    loop [ initial ] 0;
+    visit
+  end
+
+let elimination_order g =
+  let visit = order g () in
+  let n = Array.length visit in
+  Array.init n (fun i -> visit.(n - 1 - i))
+
+let is_chordal g = Chordal.is_peo g (elimination_order g)

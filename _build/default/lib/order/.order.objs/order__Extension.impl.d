@@ -1,0 +1,1 @@
+lib/order/extension.ml: Graphlib Oriented_graph

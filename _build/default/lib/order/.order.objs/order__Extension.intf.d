@@ -1,0 +1,1 @@
+lib/order/extension.mli: Graphlib Oriented_graph

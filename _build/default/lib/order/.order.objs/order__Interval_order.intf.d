@@ -1,0 +1,1 @@
+lib/order/interval_order.mli: Graphlib

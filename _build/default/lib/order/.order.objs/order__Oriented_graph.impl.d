@@ -1,0 +1,1 @@
+lib/order/oriented_graph.ml: Array Format Graphlib Hashtbl List Queue Stack

@@ -1,0 +1,1 @@
+lib/order/oriented_graph.mli: Format Graphlib

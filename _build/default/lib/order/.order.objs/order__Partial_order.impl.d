@@ -1,0 +1,1 @@
+lib/order/partial_order.ml: Array Graphlib List

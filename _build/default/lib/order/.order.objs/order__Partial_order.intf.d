@@ -1,0 +1,1 @@
+lib/order/partial_order.mli: Format

@@ -1,0 +1,73 @@
+module OG = Oriented_graph
+module D = Graphlib.Digraph
+
+let verify og d =
+  let n = OG.order og in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      match OG.kind og u v with
+      | OG.Comparable ->
+        let fwd = D.mem_arc d u v and bwd = D.mem_arc d v u in
+        if fwd = bwd then ok := false
+      | OG.Component | OG.Unknown ->
+        if D.mem_arc d u v || D.mem_arc d v u then ok := false
+    done
+  done;
+  !ok && D.is_transitive d && D.is_acyclic d
+
+exception Out_of_budget
+
+let complete_partial ?budget og =
+  let base = OG.mark og in
+  let credits = ref (match budget with None -> -1 | Some b -> b) in
+  let spend () =
+    if !credits = 0 then raise Out_of_budget;
+    if !credits > 0 then decr credits
+  in
+  (* Depth-first completion. Theorem 2 guarantees that when the initial
+     propagation succeeds, free implication classes can be oriented
+     either way, so in practice the first branch succeeds; backtracking
+     keeps the procedure complete. A finite [budget] caps the number of
+     failed orientation attempts for opportunistic (non-exact) use. *)
+  let rec go () =
+    match OG.propagate og with
+    | Error _ -> false
+    | Ok () -> (
+      match OG.unoriented_pairs og with
+      | [] -> true
+      | (u, v) :: _ ->
+        let m = OG.mark og in
+        let try_dir a b =
+          match OG.force_arc og a b with
+          | Error _ ->
+            spend ();
+            OG.undo_to og m;
+            false
+          | Ok () ->
+            if go () then true
+            else begin
+              spend ();
+              OG.undo_to og m;
+              false
+            end
+        in
+        try_dir u v || try_dir v u)
+  in
+  let result =
+    match go () with
+    | true ->
+      let d = OG.orientation og in
+      if verify og d then Some d else None
+    | false -> None
+    | exception Out_of_budget -> None
+  in
+  OG.undo_to og base;
+  result
+
+let complete og =
+  if OG.unknown_pairs og <> [] then
+    invalid_arg "Extension.complete: undecided pairs remain";
+  complete_partial og
+
+let coordinates d ~weight = D.longest_path_lengths d ~weight

@@ -1,0 +1,84 @@
+module D = Graphlib.Digraph
+
+let check d =
+  if not (D.is_acyclic d) then
+    invalid_arg "Interval_order: digraph has a cycle";
+  if not (D.is_transitive d) then
+    invalid_arg "Interval_order: digraph is not transitive"
+
+(* Fishburn's criterion: an order is an interval order iff for every two
+   arcs a->b, c->d at least one of a->d, c->b holds (no induced 2+2). *)
+let is_interval_order d =
+  check d;
+  let arcs = D.arcs d in
+  List.for_all
+    (fun (a, b) ->
+      List.for_all
+        (fun (c, p) -> D.mem_arc d a p || D.mem_arc d c b)
+        arcs)
+    arcs
+
+let predecessor_key d v =
+  String.init (D.order d) (fun u -> if D.mem_arc d u v then '1' else '0')
+
+let card key = String.fold_left (fun acc c -> if c = '1' then acc + 1 else acc) 0 key
+
+let subset a b =
+  let ok = ref true in
+  String.iteri (fun i c -> if c = '1' && b.[i] <> '1' then ok := false) a;
+  !ok
+
+(* Distinct predecessor sets, sorted by cardinality; in an interval
+   order they form an inclusion chain. *)
+let down_sets d =
+  let n = D.order d in
+  let keys = List.init n (predecessor_key d) in
+  let distinct = List.sort_uniq compare keys in
+  let sorted = List.sort (fun a b -> compare (card a, a) (card b, b)) distinct in
+  let rec chain = function
+    | a :: (b :: _ as rest) -> subset a b && chain rest
+    | [ _ ] | [] -> true
+  in
+  if chain sorted then Some (Array.of_list sorted) else None
+
+let magnitude d =
+  check d;
+  let n = D.order d in
+  List.length (List.sort_uniq compare (List.init n (predecessor_key d)))
+
+let is_representation d (l, r) =
+  let n = D.order d in
+  Array.length l = n && Array.length r = n
+  &&
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    if l.(u) > r.(u) then ok := false;
+    for v = 0 to n - 1 do
+      if u <> v && D.mem_arc d u v <> (r.(u) < l.(v)) then ok := false
+    done
+  done;
+  !ok
+
+let representation d =
+  check d;
+  match down_sets d with
+  | None -> None
+  | Some sets ->
+    let n = D.order d in
+    let k = Array.length sets in
+    let index_of key =
+      let rec go i = if sets.(i) = key then i else go (i + 1) in
+      go 0
+    in
+    let l = Array.init n (fun v -> index_of (predecessor_key d v)) in
+    let r =
+      Array.init n (fun u ->
+          (* largest down-set index not containing u *)
+          let best = ref 0 in
+          for j = 0 to k - 1 do
+            if sets.(j).[u] <> '1' then best := j
+          done;
+          !best)
+    in
+    let repr = (l, r) in
+    if is_representation d repr then Some repr else None

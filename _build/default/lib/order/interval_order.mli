@@ -1,0 +1,34 @@
+(** Interval orders: recognition and canonical interval representations.
+
+    A strict partial order is an {e interval order} iff it has no
+    induced [2 + 2] (two disjoint 2-chains), iff it is the
+    "entirely before" relation of some intervals on a line (Fishburn).
+    Transitive orientations of complements of interval graphs — the
+    objects the packing-class machinery manipulates in every dimension —
+    are exactly the interval orders, which is why this module lives in
+    the order substrate.
+
+    The canonical representation uses the classical down-set
+    construction: in an interval order the sets of strict predecessors
+    are linearly ordered by inclusion; indexing each element by the rank
+    of its predecessor set (left endpoint) and the co-rank of its
+    successor set (right endpoint) yields closed integer intervals
+    realizing the order exactly. *)
+
+(** [is_interval_order d] — [d] must be a transitive DAG; [true] iff it
+    contains no induced [2 + 2].
+    @raise Invalid_argument if [d] is not transitive and acyclic. *)
+val is_interval_order : Graphlib.Digraph.t -> bool
+
+(** [representation d] is [Some (l, r)] with closed intervals
+    [[l.(v), r.(v)]] such that [u -> v] iff [r.(u) < l.(v)]; [None] iff
+    [d] is not an interval order. The result is verified before being
+    returned. *)
+val representation : Graphlib.Digraph.t -> (int array * int array) option
+
+(** [is_representation d (l, r)] checks [u -> v <=> r.(u) < l.(v)]. *)
+val is_representation : Graphlib.Digraph.t -> int array * int array -> bool
+
+(** [magnitude d] is the number of distinct predecessor sets — the
+    number of distinct left endpoints any representation needs. *)
+val magnitude : Graphlib.Digraph.t -> int

@@ -1,0 +1,254 @@
+module U = Graphlib.Undirected
+module D = Graphlib.Digraph
+
+(* Packed state per unordered pair {u,v} with u < v:
+   0 unknown, 1 component, 2 comparable unoriented,
+   3 comparable oriented u -> v, 4 comparable oriented v -> u. *)
+
+type t = {
+  n : int;
+  state : int array; (* indexed by u * n + v, u < v *)
+  trail : (int * int) Stack.t; (* (pair index, previous state) *)
+  queue : int Queue.t; (* pair indices pending a propagation scan *)
+}
+
+type kind = Unknown | Component | Comparable
+
+type conflict = {
+  pair : int * int;
+  reason : string;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Oriented_graph.create: negative order";
+  { n; state = Array.make (n * n) 0; trail = Stack.create (); queue = Queue.create () }
+
+let order t = t.n
+
+let index t u v =
+  if u < 0 || v < 0 || u >= t.n || v >= t.n || u = v then
+    invalid_arg "Oriented_graph: bad pair";
+  if u < v then (u * t.n) + v else (v * t.n) + u
+
+let unpack t idx = (idx / t.n, idx mod t.n)
+
+let raw t u v = t.state.(index t u v)
+
+let kind t u v =
+  match raw t u v with
+  | 0 -> Unknown
+  | 1 -> Component
+  | _ -> Comparable
+
+let arc t u v =
+  let s = raw t u v in
+  if u < v then s = 3 else s = 4
+
+let oriented t u v =
+  let s = raw t u v in
+  s = 3 || s = 4
+
+let mark t = Stack.length t.trail
+
+let undo_to t m =
+  if m > Stack.length t.trail then invalid_arg "Oriented_graph.undo_to: bad mark";
+  while Stack.length t.trail > m do
+    let idx, prev = Stack.pop t.trail in
+    t.state.(idx) <- prev
+  done;
+  Queue.clear t.queue
+
+let changed_pairs t ~since =
+  if since > Stack.length t.trail then
+    invalid_arg "Oriented_graph.changed_pairs: bad mark";
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let depth = ref 0 in
+  let limit = Stack.length t.trail - since in
+  Stack.iter
+    (fun (idx, _) ->
+      if !depth < limit then begin
+        incr depth;
+        if not (Hashtbl.mem seen idx) then begin
+          Hashtbl.add seen idx ();
+          acc := unpack t idx :: !acc
+        end
+      end)
+    t.trail;
+  List.rev !acc
+
+let write t idx value =
+  if t.state.(idx) <> value then begin
+    Stack.push (idx, t.state.(idx)) t.trail;
+    t.state.(idx) <- value;
+    Queue.add idx t.queue
+  end
+
+let conflict u v reason = Error { pair = (min u v, max u v); reason }
+
+let set_component t u v =
+  match raw t u v with
+  | 1 -> Ok ()
+  | 0 ->
+    write t (index t u v) 1;
+    Ok ()
+  | _ -> conflict u v "pair is a comparability edge, cannot overlap"
+
+let set_comparable t u v =
+  match raw t u v with
+  | 2 | 3 | 4 -> Ok ()
+  | 0 ->
+    write t (index t u v) 2;
+    Ok ()
+  | _ -> conflict u v "pair is a component edge, cannot be comparable"
+
+(* Fix the orientation a -> b, whatever the current state allows. *)
+let force_arc t a b =
+  let idx = index t a b in
+  let want = if a < b then 3 else 4 in
+  match t.state.(idx) with
+  | 0 | 2 ->
+    write t idx want;
+    Ok ()
+  | 1 -> conflict a b "transitivity conflict: forced arc on a component edge"
+  | s when s = want -> Ok ()
+  | _ -> conflict a b "path conflict: edge forced in both orientations"
+
+(* One propagation scan for the pair encoded by [idx], driven by its
+   current state. Each rule instance involves at most three pairs; the
+   last pair to change always triggers the scan that completes the
+   rule, so scanning changed pairs suffices for closure. *)
+let scan t idx =
+  let u, v = unpack t idx in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  match t.state.(idx) with
+  | 0 -> Ok ()
+  | 1 ->
+    (* Component edge {u,v}: D1 with shared vertex w — oriented
+       comparability edges {w,u}, {w,v} must point the same way. *)
+    let rec loop w =
+      if w >= t.n then Ok ()
+      else if w = u || w = v then loop (w + 1)
+      else
+        let cu = kind t w u = Comparable and cv = kind t w v = Comparable in
+        if cu && cv then
+          let* () = if arc t w u then force_arc t w v else Ok () in
+          let* () = if arc t u w then force_arc t v w else Ok () in
+          let* () = if arc t w v then force_arc t w u else Ok () in
+          let* () = if arc t v w then force_arc t u w else Ok () in
+          loop (w + 1)
+        else loop (w + 1)
+    in
+    loop 0
+  | 2 ->
+    (* Unoriented comparability edge {u,v}: D1 may orient it via an
+       already-oriented edge at a shared vertex and a component third
+       side. *)
+    let rec loop w =
+      if w >= t.n then Ok ()
+      else if w = u || w = v then loop (w + 1)
+      else
+        let* () =
+          if kind t u w = Comparable && kind t v w = Component then
+            if arc t u w then force_arc t u v
+            else if arc t w u then force_arc t v u
+            else Ok ()
+          else Ok ()
+        in
+        let* () =
+          if kind t v w = Comparable && kind t u w = Component then
+            if arc t v w then force_arc t v u
+            else if arc t w v then force_arc t u v
+            else Ok ()
+          else Ok ()
+        in
+        loop (w + 1)
+    in
+    loop 0
+  | _ ->
+    (* Oriented edge a -> b. *)
+    let a, b = if t.state.(idx) = 3 then (u, v) else (v, u) in
+    let rec loop w =
+      if w >= t.n then Ok ()
+      else if w = a || w = b then loop (w + 1)
+      else
+        (* D1, shared a: {a,w} comparable, {b,w} component. *)
+        let* () =
+          if kind t a w = Comparable && kind t b w = Component then
+            force_arc t a w
+          else Ok ()
+        in
+        (* D1, shared b: {b,w} comparable, {a,w} component. *)
+        let* () =
+          if kind t b w = Comparable && kind t a w = Component then
+            force_arc t w b
+          else Ok ()
+        in
+        (* D2: a -> b -> w forces a -> w; w -> a -> b forces w -> b. *)
+        let* () = if arc t b w then force_arc t a w else Ok () in
+        let* () = if arc t w a then force_arc t w b else Ok () in
+        loop (w + 1)
+    in
+    loop 0
+
+let propagate t =
+  let rec drain () =
+    if Queue.is_empty t.queue then Ok ()
+    else
+      let idx = Queue.pop t.queue in
+      match scan t idx with
+      | Ok () -> drain ()
+      | Error _ as e ->
+        Queue.clear t.queue;
+        e
+  in
+  drain ()
+
+let pairs_with t pred =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    for v = t.n - 1 downto u + 1 do
+      if pred t.state.((u * t.n) + v) then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let unknown_pairs t = pairs_with t (fun s -> s = 0)
+let unoriented_pairs t = pairs_with t (fun s -> s = 2)
+
+let component_graph t =
+  let g = U.create t.n in
+  List.iter (fun (u, v) -> U.add_edge g u v) (pairs_with t (fun s -> s = 1));
+  g
+
+let comparable_graph t =
+  let g = U.create t.n in
+  List.iter (fun (u, v) -> U.add_edge g u v) (pairs_with t (fun s -> s >= 2));
+  g
+
+let orientation t =
+  let d = D.create t.n in
+  List.iter
+    (fun (u, v) ->
+      if t.state.((u * t.n) + v) = 3 then D.add_arc d u v
+      else if t.state.((u * t.n) + v) = 4 then D.add_arc d v u)
+    (pairs_with t (fun s -> s >= 3));
+  d
+
+let pp fmt t =
+  let show s = match s with
+    | 0 -> None
+    | 1 -> Some "="
+    | 2 -> Some "~"
+    | 3 -> Some "->"
+    | _ -> Some "<-"
+  in
+  Format.fprintf fmt "@[<v>";
+  for u = 0 to t.n - 1 do
+    for v = u + 1 to t.n - 1 do
+      match show t.state.((u * t.n) + v) with
+      | None -> ()
+      | Some s -> Format.fprintf fmt "%d %s %d@ " u s v
+    done
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,104 @@
+(** Per-dimension edge-state store with Gallai/Fekete–Köhler–Teich
+    implication closure and trail-based undo.
+
+    During the packing-class search, every pair of boxes is, in each
+    dimension, in one of three basic states (paper, Sec. 4.3): a
+    {e component} edge (the projections overlap), a {e comparability}
+    edge (the projections are disjoint), or {e unassigned}. A
+    comparability edge additionally carries one of three orientation
+    states: unoriented, or one of the two directions ("left of" /
+    "right of" on the axis).
+
+    This module stores those states for one dimension and maintains the
+    closure under the paper's two implication families:
+
+    - {b D1 (path implications)}: comparability edges [{u,v}], [{v,w}]
+      with [{u,w}] a component edge — any orientation of one forces the
+      matching orientation of the other (both must point "the same way"
+      past the overlapping pair).
+    - {b D2 (transitivity implications)}: oriented [u -> v] and
+      [v -> w] force [{u,w}] to be a comparability edge oriented
+      [u -> w]; if [{u,w}] is already a component edge this is a
+      {e transitivity conflict}, if it is oriented [w -> u] this is a
+      {e path conflict} (a directed cycle).
+
+    All mutations are recorded on a trail so the branch-and-bound search
+    can undo to a mark in O(#changes). Mutations queue pairs for
+    propagation; {!propagate} drains the queue and either reaches a
+    fixpoint or reports a conflict. By Theorem 2 of the paper, absence
+    of conflicts under this closure characterizes extendability of the
+    forced suborder to a transitive orientation. *)
+
+type t
+
+type kind =
+  | Unknown
+  | Component
+  | Comparable
+
+(** A conflict detected during a mutation or during propagation. *)
+type conflict = {
+  pair : int * int;
+  reason : string;
+}
+
+val create : int -> t
+
+(** Number of vertices. *)
+val order : t -> int
+
+(** Current kind of the pair [{u,v}], [u <> v]. *)
+val kind : t -> int -> int -> kind
+
+(** [arc t u v] is [true] iff the comparability edge [{u,v}] is oriented
+    [u -> v]. *)
+val arc : t -> int -> int -> bool
+
+(** [oriented t u v] is [true] iff [{u,v}] is oriented one way or the
+    other. *)
+val oriented : t -> int -> int -> bool
+
+(** Trail mark for later {!undo_to}. *)
+val mark : t -> int
+
+(** [undo_to t m] rolls all state back to mark [m] and clears the
+    propagation queue. *)
+val undo_to : t -> int -> unit
+
+(** [changed_pairs t ~since] lists the distinct pairs whose state
+    changed after mark [since] (most recent first). *)
+val changed_pairs : t -> since:int -> (int * int) list
+
+(** [set_component t u v] fixes [{u,v}] as a component edge. Fails if
+    the pair is already comparable. Queues implications. *)
+val set_component : t -> int -> int -> (unit, conflict) result
+
+(** [set_comparable t u v] fixes [{u,v}] as an (unoriented)
+    comparability edge. Fails if the pair is already a component edge. *)
+val set_comparable : t -> int -> int -> (unit, conflict) result
+
+(** [force_arc t u v] fixes [{u,v}] as a comparability edge oriented
+    [u -> v]. Fails on component pairs and on opposite orientations. *)
+val force_arc : t -> int -> int -> (unit, conflict) result
+
+(** Drain the propagation queue, applying D1 and D2 exhaustively.
+    Returns the first conflict encountered, if any. On success the state
+    is closed under both implication families. *)
+val propagate : t -> (unit, conflict) result
+
+(** Pairs currently [Unknown], with [u < v]. *)
+val unknown_pairs : t -> (int * int) list
+
+(** Comparable pairs that are not yet oriented, with [u < v]. *)
+val unoriented_pairs : t -> (int * int) list
+
+(** The component graph [G] (edges = component pairs). *)
+val component_graph : t -> Graphlib.Undirected.t
+
+(** The graph of comparable pairs (the known part of the complement). *)
+val comparable_graph : t -> Graphlib.Undirected.t
+
+(** The digraph of all oriented comparability edges. *)
+val orientation : t -> Graphlib.Digraph.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Baseline Benchmarks Format Fun Geometry List Packing Printf QCheck QCheck_alcotest String

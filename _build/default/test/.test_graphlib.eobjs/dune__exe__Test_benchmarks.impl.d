@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Benchmarks Geometry List Order Packing Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Array Benchmarks Fpga Geometry List Packing QCheck QCheck_alcotest String

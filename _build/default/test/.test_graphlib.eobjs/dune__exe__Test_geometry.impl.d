@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Fmt Geometry List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Array Format Fun Graphlib List Order QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_packing.ml: Alcotest Array Benchmarks Format Fun Geometry List Order Packing Printf QCheck QCheck_alcotest String
