@@ -314,6 +314,222 @@ let online () =
     patterns
 
 (* ------------------------------------------------------------------ *)
+(* Parallel solver: sequential vs --jobs 4, written to                 *)
+(* BENCH_parallel.json                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Scan candidate instances for ones whose sequential stage-3 search
+   lands in the benchmarkable 1-20 s band (run with `parallel-calibrate`). *)
+let parallel_calibrate () =
+  Format.printf "@.== Calibration: sequential vs jobs=4, 20 s budget each ==@.";
+  let budget_s =
+    match Sys.getenv_opt "CALIBRATE_BUDGET" with
+    | Some s -> float_of_string s
+    | None -> 20.0
+  in
+  let probe name inst cont =
+    let budget () =
+      {
+        search_only with
+        Packing.Opp_solver.deadline = Some (Unix.gettimeofday () +. budget_s);
+      }
+    in
+    let (o, s), dt =
+      wall (fun () -> Packing.Opp_solver.solve ~options:(budget ()) inst cont)
+    in
+    let verdict = Format.asprintf "%a" Packing.Opp_solver.pp_outcome o in
+    let pr, pdt =
+      wall (fun () ->
+          Packing.Parallel_solver.solve ~options:(budget ()) ~jobs:4 inst cont)
+    in
+    let pverdict =
+      Format.asprintf "%a" Packing.Opp_solver.pp_outcome
+        pr.Packing.Parallel_solver.outcome
+    in
+    Format.printf "  %-28s seq %8.3f s %-10s | par %8.3f s %-10s@." name dt
+      verdict pdt pverdict;
+    ignore s
+  in
+  List.iter
+    (fun (seed, n, me, md, ap, w, h, t) ->
+      let inst =
+        Benchmarks.Generate.random ~seed ~n ~max_extent:me ~max_duration:md
+          ~arc_probability:ap ()
+      in
+      probe
+        (Printf.sprintf "rnd s%d n%d e%d d%d %dx%dx%d" seed n me md w h t)
+        inst
+        (Geometry.Container.make3 ~w ~h ~t_max:t))
+    (match Sys.getenv_opt "CALIBRATE_CASES" with
+    | Some "seq-completion" ->
+      [
+        (5, 11, 4, 3, 0.1, 8, 8, 8);
+        (29, 12, 4, 3, 0.1, 9, 9, 8);
+        (101, 10, 4, 3, 0.15, 7, 7, 8);
+      ]
+    | Some "seq-completion-2" ->
+      [ (61, 12, 5, 4, 0.15, 10, 10, 9); (73, 12, 5, 4, 0.15, 10, 10, 9) ]
+    | Some "seq-completion-3" ->
+      [ (191, 10, 4, 3, 0.15, 7, 7, 8); (199, 11, 4, 3, 0.15, 8, 8, 8) ]
+    | Some "scan-3" ->
+      [
+        (251, 9, 3, 3, 0.15, 6, 6, 7);
+        (257, 9, 3, 3, 0.15, 6, 6, 7);
+        (263, 9, 3, 3, 0.15, 6, 6, 7);
+        (269, 9, 3, 3, 0.15, 6, 6, 7);
+        (271, 9, 3, 3, 0.15, 6, 6, 7);
+        (277, 9, 3, 3, 0.15, 6, 6, 7);
+        (281, 10, 3, 3, 0.15, 6, 6, 7);
+        (283, 10, 3, 3, 0.15, 6, 6, 7);
+        (293, 10, 3, 3, 0.15, 6, 6, 7);
+        (307, 10, 3, 3, 0.15, 6, 6, 7);
+        (311, 10, 3, 3, 0.15, 6, 6, 7);
+        (313, 10, 3, 3, 0.15, 6, 6, 7);
+      ]
+    | Some "scan-2" ->
+      [
+        (151, 10, 4, 3, 0.15, 7, 7, 8);
+        (157, 10, 4, 3, 0.15, 7, 7, 8);
+        (163, 10, 4, 3, 0.15, 7, 7, 8);
+        (167, 10, 4, 3, 0.15, 7, 7, 8);
+        (173, 10, 4, 3, 0.15, 7, 7, 8);
+        (179, 10, 4, 3, 0.15, 7, 7, 8);
+        (181, 10, 4, 3, 0.15, 7, 7, 8);
+        (191, 10, 4, 3, 0.15, 7, 7, 8);
+        (193, 11, 4, 3, 0.15, 8, 8, 8);
+        (197, 11, 4, 3, 0.15, 8, 8, 8);
+        (199, 11, 4, 3, 0.15, 8, 8, 8);
+        (211, 11, 4, 3, 0.15, 8, 8, 8);
+        (223, 11, 4, 3, 0.15, 8, 8, 8);
+        (227, 11, 4, 3, 0.15, 8, 8, 8);
+        (229, 9, 3, 3, 0.15, 6, 6, 7);
+        (233, 9, 3, 3, 0.15, 6, 6, 7);
+        (239, 9, 3, 3, 0.15, 6, 6, 7);
+        (241, 9, 3, 3, 0.15, 6, 6, 7);
+      ]
+    | _ ->
+      [
+        (21, 9, 4, 3, 0.15, 7, 7, 7);
+        (5, 11, 4, 3, 0.1, 8, 8, 8);
+        (29, 12, 4, 3, 0.1, 9, 9, 8);
+        (61, 12, 5, 4, 0.15, 10, 10, 9);
+        (73, 12, 5, 4, 0.15, 10, 10, 9);
+        (101, 10, 4, 3, 0.15, 7, 7, 8);
+        (103, 10, 4, 3, 0.15, 7, 7, 8);
+        (107, 10, 4, 3, 0.15, 7, 7, 8);
+        (109, 10, 4, 3, 0.15, 7, 7, 8);
+        (113, 10, 4, 3, 0.15, 7, 7, 8);
+        (127, 11, 4, 3, 0.2, 8, 8, 8);
+        (131, 11, 4, 3, 0.2, 8, 8, 8);
+        (137, 11, 4, 3, 0.2, 8, 8, 8);
+        (139, 11, 4, 3, 0.2, 8, 8, 8);
+        (149, 11, 4, 3, 0.2, 8, 8, 8);
+      ])
+
+(* Cases picked by `parallel-calibrate`: each sequential stage-3 search
+   lands either in the 1-60 s band (so a real speedup ratio can be
+   measured) or demonstrably beyond it (reported as a lower bound).
+   Seed s21 is kept as an honest counterexample: root splitting spreads
+   the workers across subtrees whose exploration the sequential order
+   happens to get right, so jobs=4 loses there. *)
+let parallel_budget_s = 60.0
+
+let parallel_cases () =
+  let case name ~seed ~n ~max_extent ~arc_probability (w, h, t) =
+    ( name,
+      Benchmarks.Generate.random ~seed ~n ~max_extent ~max_duration:3
+        ~arc_probability (),
+      Geometry.Container.make3 ~w ~h ~t_max:t )
+  in
+  [
+    case "random s101 n10 7x7x8" ~seed:101 ~n:10 ~max_extent:4
+      ~arc_probability:0.15 (7, 7, 8);
+    case "random s293 n10 6x6x7" ~seed:293 ~n:10 ~max_extent:3
+      ~arc_probability:0.15 (6, 6, 7);
+    case "random s307 n10 6x6x7" ~seed:307 ~n:10 ~max_extent:3
+      ~arc_probability:0.15 (6, 6, 7);
+    case "random s241 n9 6x6x7" ~seed:241 ~n:9 ~max_extent:3
+      ~arc_probability:0.15 (6, 6, 7);
+    case "random s21 n9 7x7x7" ~seed:21 ~n:9 ~max_extent:4
+      ~arc_probability:0.15 (7, 7, 7);
+    case "random s5 n11 8x8x8" ~seed:5 ~n:11 ~max_extent:4
+      ~arc_probability:0.1 (8, 8, 8);
+    case "random s199 n11 8x8x8" ~seed:199 ~n:11 ~max_extent:4
+      ~arc_probability:0.15 (8, 8, 8);
+  ]
+
+let parallel_bench () =
+  Format.printf
+    "@.== Parallel: sequential vs 4 jobs (stage-3 search only, %.0f s budget \
+     per run) ==@."
+    parallel_budget_s;
+  Format.printf
+    "  instance                   seq        par(j=4)   speedup  agree@.";
+  let verdict = function
+    | Packing.Opp_solver.Feasible _ -> "feasible"
+    | Packing.Opp_solver.Infeasible -> "infeasible"
+    | Packing.Opp_solver.Timeout -> "timeout"
+  in
+  let budgeted () =
+    {
+      search_only with
+      Packing.Opp_solver.deadline =
+        Some (Unix.gettimeofday () +. parallel_budget_s);
+    }
+  in
+  let rows =
+    List.map
+      (fun (name, inst, cont) ->
+        let (seq_o, seq_s), seq_t =
+          wall (fun () ->
+              Packing.Opp_solver.solve ~options:(budgeted ()) inst cont)
+        in
+        let par_r, par_t =
+          wall (fun () ->
+              Packing.Parallel_solver.solve ~options:(budgeted ()) ~jobs:4 inst
+                cont)
+        in
+        let par_o = par_r.Packing.Parallel_solver.outcome in
+        let seq_done = seq_o <> Packing.Opp_solver.Timeout in
+        let par_done = par_o <> Packing.Opp_solver.Timeout in
+        (* A verdict mismatch only exists when both runs finished; a
+           timeout on either side means the speedup column is a bound,
+           not a measurement. *)
+        let agree = (not (seq_done && par_done)) || verdict seq_o = verdict par_o in
+        let speedup = if par_t > 0.0 then seq_t /. par_t else 0.0 in
+        let bound =
+          if seq_done && par_done then ""
+          else if (not seq_done) && par_done then " (lower bound)"
+          else if seq_done then " (upper bound)"
+          else " (both hit budget)"
+        in
+        Format.printf "  %-24s %8.3f s %8.3f s   %5.2fx%s  %b%s@." name seq_t
+          par_t speedup bound agree
+          (if agree then "" else "  MISMATCH");
+        Printf.sprintf
+          "{\"instance\":\"%s\",\"seq_s\":%.6f,\"par_s\":%.6f,\
+           \"speedup\":%.3f,\"both_completed\":%b,\
+           \"seq_outcome\":\"%s\",\"par_outcome\":\"%s\",\
+           \"seq_nodes\":%d,\"par_nodes\":%d,\"subproblems\":%d,\"jobs\":4}"
+          name seq_t par_t speedup (seq_done && par_done) (verdict seq_o)
+          (verdict par_o) seq_s.Packing.Opp_solver.nodes
+          par_r.Packing.Parallel_solver.stats.Packing.Opp_solver.nodes
+          par_r.Packing.Parallel_solver.subproblems)
+      (parallel_cases ())
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\"hardware_cores\":%d,\"jobs\":4,\"budget_s\":%.0f,\
+        \"note\":\"search-only stage 3; wall-clock; single run per cell; \
+        speedup is a bound when an outcome is timeout\",\"cases\":[\n%s\n]}\n"
+       (Domain.recommended_domain_count ())
+       parallel_budget_s
+       (String.concat ",\n" rows));
+  close_out oc;
+  Format.printf "  wrote BENCH_parallel.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table / figure         *)
 (* ------------------------------------------------------------------ *)
 
@@ -390,12 +606,16 @@ let () =
       ("rect", rect);
       ("scaling", scaling);
       ("online", online);
+      ("parallel", parallel_bench);
+      ("parallel-calibrate", parallel_calibrate);
       ("bechamel", run_bechamel);
     ]
   in
+  (* Calibration is a maintenance tool, not part of the default sweep. *)
+  let default = List.filter (fun n -> n <> "parallel-calibrate") (List.map fst known) in
   let args = List.tl (Array.to_list Sys.argv) in
   let selected =
-    if args = [] then List.map fst known
+    if args = [] then default
     else begin
       List.iter
         (fun a ->

@@ -91,8 +91,36 @@ let write_svg inst chip t_max placement = function
     close_out oc;
     Format.printf "wrote %s@." path
 
+let jobs_opt =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the search; 1 runs sequentially, N > 1 \
+                 splits the root of the branch-and-bound tree over N domains \
+                 plus a flipped-branch-order portfolio arm.")
+
+let time_limit_opt =
+  Arg.(value & opt (some float) None
+       & info [ "time-limit" ] ~docv:"S"
+           ~doc:"Wall-clock budget in seconds; an expired budget reports a \
+                 timeout (exit code 3), never a wrong verdict.")
+
+let stats_opt =
+  Arg.(value & opt (some (enum [ ("json", `Json) ])) None
+       & info [ "stats" ] ~docv:"FMT"
+           ~doc:"Print solver statistics in the given format (only: json). \
+                 With --jobs > 1 the report includes per-worker counters.")
+
+let options_with_deadline time_limit =
+  match time_limit with
+  | None -> Packing.Opp_solver.default_options
+  | Some s ->
+    {
+      Packing.Opp_solver.default_options with
+      deadline = Some (Unix.gettimeofday () +. s);
+    }
+
 let solve_cmd =
-  let run file chip time render quiet svg =
+  let run file chip time render quiet svg jobs time_limit stats =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
@@ -101,24 +129,46 @@ let solve_cmd =
       | Ok chip, Ok t_max -> (
         let inst = io.Fpga.Instance_io.instance in
         let container = Fpga.Chip.container chip ~t_max in
-        match Packing.Opp_solver.solve inst container with
-        | Packing.Opp_solver.Feasible p, stats ->
-          Format.printf "feasible on %a within %d cycles (%a)@." Fpga.Chip.pp
-            chip t_max Packing.Opp_solver.pp_stats stats;
-          show_placement ~quiet ~render inst chip t_max p;
-          write_svg inst chip t_max p svg;
-          0
-        | Packing.Opp_solver.Infeasible, stats ->
-          Format.printf "infeasible (%a)@." Packing.Opp_solver.pp_stats stats;
-          2
-        | Packing.Opp_solver.Timeout, _ ->
-          Format.printf "timeout@.";
-          3))
+        let options = options_with_deadline time_limit in
+        let finish outcome pp_report =
+          match outcome with
+          | Packing.Opp_solver.Feasible p ->
+            Format.printf "feasible on %a within %d cycles (%t)@." Fpga.Chip.pp
+              chip t_max pp_report;
+            show_placement ~quiet ~render inst chip t_max p;
+            write_svg inst chip t_max p svg;
+            0
+          | Packing.Opp_solver.Infeasible ->
+            Format.printf "infeasible (%t)@." pp_report;
+            2
+          | Packing.Opp_solver.Timeout ->
+            Format.printf "timeout (%t)@." pp_report;
+            3
+        in
+        if jobs > 1 then begin
+          let r = Packing.Parallel_solver.solve ~options ~jobs inst container in
+          (match stats with
+          | Some `Json ->
+            Format.printf "%s@." (Packing.Parallel_solver.report_to_json r)
+          | None -> ());
+          finish r.Packing.Parallel_solver.outcome (fun fmt ->
+              Format.fprintf fmt "%d jobs, %d subproblems, %a" r.jobs
+                r.subproblems Packing.Opp_solver.pp_stats
+                r.Packing.Parallel_solver.stats)
+        end
+        else begin
+          let outcome, st = Packing.Opp_solver.solve ~options inst container in
+          (match stats with
+          | Some `Json ->
+            Format.printf "%s@." (Packing.Opp_solver.stats_to_json st)
+          | None -> ());
+          finish outcome (fun fmt -> Packing.Opp_solver.pp_stats fmt st)
+        end))
   in
   let doc = "Decide feasibility of a placement (FeasAT&FindS)." in
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(const run $ file_arg $ chip_opt $ time_opt $ render_flag $ quiet_flag
-          $ svg_opt)
+          $ svg_opt $ jobs_opt $ time_limit_opt $ stats_opt)
 
 let min_time_cmd =
   let run file chip render quiet =

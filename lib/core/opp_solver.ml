@@ -7,6 +7,8 @@ type stats = {
   nodes : int;
   conflicts : int;
   leaves : int;
+  max_depth : int;
+  elapsed : float;
   by_bounds : bool;
   by_heuristic : bool;
 }
@@ -16,6 +18,9 @@ type options = {
   use_bounds : bool;
   use_heuristic : bool;
   node_limit : int option;
+  deadline : float option;
+  interrupt : (unit -> bool) option;
+  on_progress : (stats -> unit) option;
   component_first : bool;
 }
 
@@ -25,27 +30,121 @@ let default_options =
     use_bounds = true;
     use_heuristic = true;
     node_limit = None;
+    deadline = None;
+    interrupt = None;
+    on_progress = None;
     component_first = true;
   }
 
 exception Found of Geometry.Placement.t
-exception Node_limit
+exception Stopped
+
+(* How often (in nodes) the wall clock and the cooperative interrupt
+   flag are polled, and how often on_progress fires. Powers of two so
+   the checks compile to a mask. *)
+let poll_mask = 31
+let progress_mask = 1023
+
+(* The stage-3 search from an already-initialized state. Counters are
+   threaded through references so [solve] and [solve_state] share the
+   code; [depth_offset] lets a caller account for decisions replayed
+   into [state] before the search started. *)
+let search ~options ~t0 ~depth_offset state =
+  let nodes = ref 0 and conflicts = ref 0 and leaves = ref 0 in
+  let max_depth = ref depth_offset in
+  let snapshot ~by_bounds ~by_heuristic =
+    {
+      nodes = !nodes;
+      conflicts = !conflicts;
+      leaves = !leaves;
+      max_depth = !max_depth;
+      elapsed = Unix.gettimeofday () -. t0;
+      by_bounds;
+      by_heuristic;
+    }
+  in
+  let finish outcome ~by_bounds ~by_heuristic =
+    (outcome, snapshot ~by_bounds ~by_heuristic)
+  in
+  let check_budget () =
+    (match options.node_limit with
+    | Some limit when !nodes > limit -> raise Stopped
+    | _ -> ());
+    if !nodes land poll_mask = 0 || !nodes = 1 then begin
+      (match options.deadline with
+      | Some d when Unix.gettimeofday () > d -> raise Stopped
+      | _ -> ());
+      match options.interrupt with
+      | Some stop when stop () -> raise Stopped
+      | _ -> ()
+    end;
+    match options.on_progress with
+    | Some f when !nodes land progress_mask = 0 ->
+      f (snapshot ~by_bounds:false ~by_heuristic:false)
+    | _ -> ()
+  in
+  let rec dfs depth =
+    incr nodes;
+    if depth > !max_depth then max_depth := depth;
+    check_budget ();
+    (* Early realization: if the decided part of the class already
+       forces a feasible layout, stop — the validator guarantees
+       soundness, undecided pairs merely lose their "must overlap"
+       freedom. The attempt is budget-limited; the exact check
+       runs at true leaves below. *)
+    (match Reconstruct.attempt state with
+    | Some placement -> raise (Found placement)
+    | None -> ());
+    match Packing_state.choose_unknown state with
+    | None -> (
+      incr leaves;
+      match Reconstruct.of_state state with
+      | Some placement -> raise (Found placement)
+      | None -> incr conflicts)
+    | Some (dim, u, v) ->
+      let branch assign =
+        let marks = Packing_state.mark state in
+        (match assign state ~dim u v with
+        | Ok () -> dfs (depth + 1)
+        | Error _ -> incr conflicts);
+        Packing_state.undo_to state marks
+      in
+      if options.component_first then begin
+        branch Packing_state.assign_component;
+        branch Packing_state.assign_comparable
+      end
+      else begin
+        branch Packing_state.assign_comparable;
+        branch Packing_state.assign_component
+      end
+  in
+  try
+    dfs (depth_offset + 1);
+    finish Infeasible ~by_bounds:false ~by_heuristic:false
+  with
+  | Found placement -> finish (Feasible placement) ~by_bounds:false ~by_heuristic:false
+  | Stopped -> finish Timeout ~by_bounds:false ~by_heuristic:false
+
+let solve_state ?(options = default_options) ?(depth_offset = 0) state =
+  search ~options ~t0:(Unix.gettimeofday ()) ~depth_offset state
 
 let solve ?(options = default_options) ?schedule inst cont =
-  let nodes = ref 0 and conflicts = ref 0 and leaves = ref 0 in
-  let finish outcome ~by_bounds ~by_heuristic =
+  let t0 = Unix.gettimeofday () in
+  let finish outcome ~conflicts ~by_bounds ~by_heuristic =
     ( outcome,
       {
-        nodes = !nodes;
-        conflicts = !conflicts;
-        leaves = !leaves;
+        nodes = 0;
+        conflicts;
+        leaves = 0;
+        max_depth = 0;
+        elapsed = Unix.gettimeofday () -. t0;
         by_bounds;
         by_heuristic;
       } )
   in
   (* Stage 1: try to disprove existence by bounds. *)
   if options.use_bounds && Bounds.check inst cont <> Bounds.Unknown then
-    finish Infeasible ~by_bounds:true ~by_heuristic:false
+    finish Infeasible ~conflicts:0 ~by_bounds:true ~by_heuristic:false
   else begin
     (* Stage 2: try to construct a packing heuristically. A fixed
        schedule disables this stage: the heuristic would pick its own
@@ -56,64 +155,21 @@ let solve ?(options = default_options) ?schedule inst cont =
       else None
     in
     match heuristic_hit with
-    | Some placement -> finish (Feasible placement) ~by_bounds:false ~by_heuristic:true
+    | Some placement ->
+      finish (Feasible placement) ~conflicts:0 ~by_bounds:false ~by_heuristic:true
     | None -> (
       (* Stage 3: branch and bound over packing classes. *)
       match Packing_state.create ~rules:options.rules ?schedule inst cont with
       | Error _ ->
-        incr conflicts;
-        finish Infeasible ~by_bounds:false ~by_heuristic:false
-      | Ok state ->
-        let rec dfs () =
-          incr nodes;
-          (match options.node_limit with
-          | Some limit when !nodes > limit -> raise Node_limit
-          | _ -> ());
-          (* Early realization: if the decided part of the class already
-             forces a feasible layout, stop — the validator guarantees
-             soundness, undecided pairs merely lose their "must overlap"
-             freedom. The attempt is budget-limited; the exact check
-             runs at true leaves below. *)
-          (match Reconstruct.attempt state with
-          | Some placement -> raise (Found placement)
-          | None -> ());
-          match Packing_state.choose_unknown state with
-          | None -> (
-            incr leaves;
-            match Reconstruct.of_state state with
-            | Some placement -> raise (Found placement)
-            | None -> incr conflicts)
-          | Some (dim, u, v) ->
-            let branch assign =
-              let marks = Packing_state.mark state in
-              (match assign state ~dim u v with
-              | Ok () -> dfs ()
-              | Error _ -> incr conflicts);
-              Packing_state.undo_to state marks
-            in
-            if options.component_first then begin
-              branch Packing_state.assign_component;
-              branch Packing_state.assign_comparable
-            end
-            else begin
-              branch Packing_state.assign_comparable;
-              branch Packing_state.assign_component
-            end
-        in
-        (try
-           dfs ();
-           finish Infeasible ~by_bounds:false ~by_heuristic:false
-         with
-        | Found placement ->
-          finish (Feasible placement) ~by_bounds:false ~by_heuristic:false
-        | Node_limit -> finish Timeout ~by_bounds:false ~by_heuristic:false))
+        finish Infeasible ~conflicts:1 ~by_bounds:false ~by_heuristic:false
+      | Ok state -> search ~options ~t0 ~depth_offset:0 state)
   end
 
 let feasible ?options ?schedule inst cont =
   match solve ?options ?schedule inst cont with
-  | Feasible _, _ -> true
-  | Infeasible, _ -> false
-  | Timeout, _ -> failwith "Opp_solver.feasible: node limit exhausted"
+  | Feasible _, _ -> Ok true
+  | Infeasible, _ -> Ok false
+  | Timeout, _ -> Error `Timeout
 
 let pp_outcome fmt = function
   | Feasible _ -> Format.pp_print_string fmt "feasible"
@@ -122,5 +178,36 @@ let pp_outcome fmt = function
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "nodes=%d conflicts=%d leaves=%d bounds=%b heuristic=%b" s.nodes
-    s.conflicts s.leaves s.by_bounds s.by_heuristic
+    "nodes=%d conflicts=%d leaves=%d depth=%d elapsed=%.3fs bounds=%b \
+     heuristic=%b"
+    s.nodes s.conflicts s.leaves s.max_depth s.elapsed s.by_bounds
+    s.by_heuristic
+
+let stats_to_json s =
+  Printf.sprintf
+    "{\"nodes\":%d,\"conflicts\":%d,\"leaves\":%d,\"max_depth\":%d,\
+     \"elapsed_s\":%.6f,\"by_bounds\":%b,\"by_heuristic\":%b}"
+    s.nodes s.conflicts s.leaves s.max_depth s.elapsed s.by_bounds
+    s.by_heuristic
+
+let merge_stats a b =
+  {
+    nodes = a.nodes + b.nodes;
+    conflicts = a.conflicts + b.conflicts;
+    leaves = a.leaves + b.leaves;
+    max_depth = max a.max_depth b.max_depth;
+    elapsed = max a.elapsed b.elapsed;
+    by_bounds = a.by_bounds || b.by_bounds;
+    by_heuristic = a.by_heuristic || b.by_heuristic;
+  }
+
+let empty_stats =
+  {
+    nodes = 0;
+    conflicts = 0;
+    leaves = 0;
+    max_depth = 0;
+    elapsed = 0.0;
+    by_bounds = false;
+    by_heuristic = false;
+  }

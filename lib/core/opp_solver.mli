@@ -15,12 +15,16 @@
 type outcome =
   | Feasible of Geometry.Placement.t
   | Infeasible
-  | Timeout (** the optional node budget was exhausted *)
+  | Timeout
+      (** a budget expired: the node limit, the wall-clock deadline, or
+          a cooperative {!options.interrupt} *)
 
 type stats = {
   nodes : int; (** branch-and-bound nodes visited *)
   conflicts : int; (** propagation failures (pruned branches) *)
   leaves : int; (** fully decided states reached *)
+  max_depth : int; (** deepest decision stack reached *)
+  elapsed : float; (** wall-clock seconds spent in the solve *)
   by_bounds : bool; (** settled by stage-1 bounds *)
   by_heuristic : bool; (** settled by the stage-2 heuristic *)
 }
@@ -30,6 +34,21 @@ type options = {
   use_bounds : bool; (** stage 1 *)
   use_heuristic : bool; (** stage 2 *)
   node_limit : int option; (** give up after this many nodes *)
+  deadline : float option;
+      (** absolute wall-clock deadline ([Unix.gettimeofday] scale);
+          the search returns [Timeout] soon after it passes. Polled
+          every few dozen nodes, so the overshoot is bounded by the
+          cost of that many propagation steps. *)
+  interrupt : (unit -> bool) option;
+      (** cooperative cancellation: polled periodically alongside the
+          deadline; returning [true] aborts the search with [Timeout].
+          Used by {!Parallel_solver} to stop sibling workers once a
+          definitive answer is known. *)
+  on_progress : (stats -> unit) option;
+      (** periodic telemetry callback (every ~1k nodes) with a snapshot
+          of the running counters. Called from the solving thread; in a
+          parallel solve it may be invoked concurrently from several
+          domains. *)
   component_first : bool; (** branch order at each decision *)
 }
 
@@ -50,14 +69,37 @@ val solve :
   Geometry.Container.t ->
   outcome * stats
 
-(** [feasible instance container] is [solve] reduced to a boolean;
-    @raise Failure on [Timeout]. *)
+(** [solve_state ?options ?depth_offset state] runs the stage-3 search
+    alone, from an already-initialized (and possibly partially decided)
+    {!Packing_state.t}. Stages 1 and 2 are skipped regardless of
+    [options]; [depth_offset] credits decisions replayed into [state]
+    before the call so [stats.max_depth] reflects the true depth. The
+    state is consumed by the search (a [Feasible] exit does not unwind
+    its trail); create a fresh one per call. This is the worker entry
+    point of {!Parallel_solver}. *)
+val solve_state :
+  ?options:options -> ?depth_offset:int -> Packing_state.t -> outcome * stats
+
+(** [feasible instance container] is [solve] reduced to a boolean.
+    [Error `Timeout] reports an exhausted budget instead of raising, so
+    a budget-limited caller can distinguish "proved infeasible" from
+    "gave up". *)
 val feasible :
   ?options:options ->
   ?schedule:int array ->
   Instance.t ->
   Geometry.Container.t ->
-  bool
+  (bool, [ `Timeout ]) result
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_stats : Format.formatter -> stats -> unit
+
+(** One-line JSON rendering of a stats record (for [--stats json]). *)
+val stats_to_json : stats -> string
+
+(** Pointwise merge: counters add, depths and elapsed take the max,
+    stage flags or. Used to aggregate per-worker reports. *)
+val merge_stats : stats -> stats -> stats
+
+(** All-zero stats — the unit of {!merge_stats}. *)
+val empty_stats : stats

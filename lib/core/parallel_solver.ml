@@ -1,0 +1,331 @@
+module Placement = Geometry.Placement
+
+type decision = {
+  dim : int;
+  u : int;
+  v : int;
+  overlap : bool;
+}
+
+type split =
+  | Root_infeasible of string
+  | Subproblems of decision list list
+
+type worker_report = {
+  worker : int;
+  arm : string;
+  solved : int;
+  stats : Opp_solver.stats;
+}
+
+type report = {
+  outcome : Opp_solver.outcome;
+  stats : Opp_solver.stats;
+  workers : worker_report list;
+  subproblems : int;
+  jobs : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Root splitting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The split enumerates the depth-[depth] frontier of the sequential
+   tree: starting from the propagated root state, repeatedly take the
+   solver's own branching variable and descend both ways, recording the
+   decision prefixes that survive propagation. Prefixes killed by
+   propagation are exactly the subtrees the sequential search would
+   prune at the same point, so the union of the surviving subproblems'
+   outcomes equals the unsplit outcome. Precedence arcs are seeded as
+   decided comparability edges at [Packing_state.create] time, hence
+   never appear among the unknown pairs — a split can never branch on a
+   DAG arc. *)
+let split_root ?(options = Opp_solver.default_options) ?schedule ~depth inst
+    cont =
+  match
+    Packing_state.create ~rules:options.Opp_solver.rules ?schedule inst cont
+  with
+  | Error reason -> Root_infeasible reason
+  | Ok st ->
+    let acc = ref [] in
+    let rec go prefix d =
+      match if d = 0 then None else Packing_state.choose_unknown st with
+      | None -> acc := List.rev prefix :: !acc
+      | Some (dim, u, v) ->
+        let branch overlap =
+          let marks = Packing_state.mark st in
+          let r =
+            if overlap then Packing_state.assign_component st ~dim u v
+            else Packing_state.assign_comparable st ~dim u v
+          in
+          (match r with
+          | Ok () -> go ({ dim; u; v; overlap } :: prefix) (d - 1)
+          | Error _ -> ());
+          Packing_state.undo_to st marks
+        in
+        if options.Opp_solver.component_first then begin
+          branch true;
+          branch false
+        end
+        else begin
+          branch false;
+          branch true
+        end
+    in
+    go [] depth;
+    Subproblems (List.rev !acc)
+
+let replay ?(options = Opp_solver.default_options) ?schedule inst cont
+    decisions =
+  match
+    Packing_state.create ~rules:options.Opp_solver.rules ?schedule inst cont
+  with
+  | Error reason -> Error reason
+  | Ok st ->
+    let rec go = function
+      | [] -> Ok st
+      | { dim; u; v; overlap } :: rest -> (
+        let r =
+          if overlap then Packing_state.assign_component st ~dim u v
+          else Packing_state.assign_comparable st ~dim u v
+        in
+        match r with
+        | Ok () -> go rest
+        | Error reason -> Error reason)
+    in
+    go decisions
+
+let default_split_depth ~jobs =
+  (* Aim for ~4 subproblems per worker so the queue stays busy even
+     when subtree sizes are skewed; cap the depth to keep the split
+     enumeration itself negligible. *)
+  let target = 4 * jobs in
+  let rec go k width =
+    if width >= target || k >= 10 then k else go (k + 1) (width * 2)
+  in
+  go 0 1
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
+    ?split_depth inst cont =
+  let jobs = max 1 jobs in
+  let t0 = Unix.gettimeofday () in
+  let finish outcome stats workers ~subproblems =
+    let stats = { stats with Opp_solver.elapsed = Unix.gettimeofday () -. t0 } in
+    { outcome; stats; workers; subproblems; jobs }
+  in
+  let prestage_report outcome ~conflicts ~by_bounds ~by_heuristic =
+    finish outcome
+      {
+        Opp_solver.empty_stats with
+        Opp_solver.conflicts;
+        by_bounds;
+        by_heuristic;
+      }
+      [] ~subproblems:0
+  in
+  (* Stages 1 and 2 run once, sequentially — they are cheap and settle
+     most easy instances before any domain is spawned. *)
+  if options.Opp_solver.use_bounds && Bounds.check inst cont <> Bounds.Unknown
+  then prestage_report Opp_solver.Infeasible ~conflicts:0 ~by_bounds:true
+      ~by_heuristic:false
+  else begin
+    let heuristic_hit =
+      if
+        options.Opp_solver.use_heuristic
+        && schedule = None
+        && Instance.dim inst = 3
+      then Heuristic.pack inst cont
+      else None
+    in
+    match heuristic_hit with
+    | Some placement ->
+      prestage_report (Opp_solver.Feasible placement) ~conflicts:0
+        ~by_bounds:false ~by_heuristic:true
+    | None -> (
+      let depth =
+        match split_depth with
+        | Some d -> max 0 d
+        | None -> default_split_depth ~jobs
+      in
+      match split_root ~options ?schedule ~depth inst cont with
+      | Root_infeasible _ ->
+        prestage_report Opp_solver.Infeasible ~conflicts:1 ~by_bounds:false
+          ~by_heuristic:false
+      | Subproblems subs ->
+        let subs = Array.of_list subs in
+        let total = Array.length subs in
+        let stop = Atomic.make false in
+        let next = Atomic.make 0 in
+        let completed = Atomic.make 0 in
+        (* Written once by the winning worker, read after the join. *)
+        let witness = Atomic.make None in
+        (* Per-subproblem verdicts; slot [i] is written only by the
+           worker that claimed index [i] via [next], so no two domains
+           ever race on a slot. *)
+        let verdicts = Array.make total `Pending in
+        let portfolio_infeasible = Atomic.make false in
+        let worker_out = Array.make jobs None in
+        let subsearch_options =
+          {
+            options with
+            Opp_solver.use_bounds = false;
+            use_heuristic = false;
+            interrupt =
+              Some
+                (fun () ->
+                  Atomic.get stop
+                  ||
+                  match options.Opp_solver.interrupt with
+                  | Some f -> f ()
+                  | None -> false);
+          }
+        in
+        let publish_feasible placement =
+          ignore (Atomic.compare_and_set witness None (Some placement));
+          Atomic.set stop true
+        in
+        let run_queue stats_acc solved =
+          let continue = ref true in
+          while !continue do
+            if Atomic.get stop then continue := false
+            else begin
+              let i = Atomic.fetch_and_add next 1 in
+              if i >= total then continue := false
+              else begin
+                (match replay ~options ?schedule inst cont subs.(i) with
+                | Error _ ->
+                  (* The prefix no longer propagates (can happen when a
+                     shared deadline already fired mid-replay — the
+                     state machinery itself is deterministic, so a
+                     clean replay of a surviving split prefix succeeds).
+                     Count it as a pruned branch. *)
+                  verdicts.(i) <- `Infeasible;
+                  stats_acc :=
+                    {
+                      !stats_acc with
+                      Opp_solver.conflicts = (!stats_acc).Opp_solver.conflicts + 1;
+                    }
+                | Ok st -> (
+                  let prefix_len = List.length subs.(i) in
+                  let outcome, s =
+                    Opp_solver.solve_state ~options:subsearch_options
+                      ~depth_offset:prefix_len st
+                  in
+                  stats_acc := Opp_solver.merge_stats !stats_acc s;
+                  incr solved;
+                  match outcome with
+                  | Opp_solver.Feasible p ->
+                    verdicts.(i) <- `Feasible;
+                    publish_feasible p
+                  | Opp_solver.Infeasible -> verdicts.(i) <- `Infeasible
+                  | Opp_solver.Timeout -> verdicts.(i) <- `Timeout));
+                (* Last finisher with no feasible answer releases the
+                   portfolio arm too. *)
+                if Atomic.fetch_and_add completed 1 = total - 1 then
+                  Atomic.set stop true
+              end
+            end
+          done
+        in
+        let run_portfolio stats_acc =
+          (* The portfolio arm re-searches the whole root with the
+             branch order flipped: on instances where the default order
+             commits early to a doomed subtree, this arm reaches a
+             witness (or the contradiction) first. It is exact, so a
+             definitive answer cancels the split workers. *)
+          let popts =
+            {
+              subsearch_options with
+              Opp_solver.component_first =
+                not options.Opp_solver.component_first;
+            }
+          in
+          match replay ~options ?schedule inst cont [] with
+          | Error _ ->
+            Atomic.set portfolio_infeasible true;
+            Atomic.set stop true
+          | Ok st -> (
+            let outcome, s = Opp_solver.solve_state ~options:popts st in
+            stats_acc := Opp_solver.merge_stats !stats_acc s;
+            match outcome with
+            | Opp_solver.Feasible p -> publish_feasible p
+            | Opp_solver.Infeasible ->
+              Atomic.set portfolio_infeasible true;
+              Atomic.set stop true
+            | Opp_solver.Timeout -> ())
+        in
+        let worker wid =
+          let stats_acc = ref Opp_solver.empty_stats in
+          let solved = ref 0 in
+          let arm =
+            if wid = 0 && jobs > 1 then begin
+              run_portfolio stats_acc;
+              run_queue stats_acc solved;
+              "portfolio+split"
+            end
+            else begin
+              run_queue stats_acc solved;
+              "split"
+            end
+          in
+          worker_out.(wid) <-
+            Some { worker = wid; arm; solved = !solved; stats = !stats_acc }
+        in
+        (* Always join every domain before returning: cancellation must
+           never leak a running domain past the call. *)
+        let domains =
+          Array.init jobs (fun wid -> Domain.spawn (fun () -> worker wid))
+        in
+        Array.iter Domain.join domains;
+        let workers =
+          Array.to_list worker_out
+          |> List.filter_map Fun.id
+          |> List.sort (fun (a : worker_report) (b : worker_report) ->
+                 compare a.worker b.worker)
+        in
+        let merged =
+          List.fold_left
+            (fun acc (w : worker_report) -> Opp_solver.merge_stats acc w.stats)
+            Opp_solver.empty_stats workers
+        in
+        let outcome =
+          match Atomic.get witness with
+          | Some placement -> Opp_solver.Feasible placement
+          | None ->
+            if
+              Atomic.get portfolio_infeasible
+              || Array.for_all (fun v -> v = `Infeasible) verdicts
+            then Opp_solver.Infeasible
+            else Opp_solver.Timeout
+        in
+        finish outcome merged workers ~subproblems:total)
+  end
+
+let pp_report fmt r =
+  Format.fprintf fmt "%a via %d jobs over %d subproblems (%a)"
+    Opp_solver.pp_outcome r.outcome r.jobs r.subproblems Opp_solver.pp_stats
+    r.stats
+
+let report_to_json r =
+  let outcome =
+    match r.outcome with
+    | Opp_solver.Feasible _ -> "feasible"
+    | Opp_solver.Infeasible -> "infeasible"
+    | Opp_solver.Timeout -> "timeout"
+  in
+  let worker w =
+    Printf.sprintf
+      "{\"worker\":%d,\"arm\":\"%s\",\"solved\":%d,\"stats\":%s}" w.worker
+      w.arm w.solved
+      (Opp_solver.stats_to_json w.stats)
+  in
+  Printf.sprintf
+    "{\"outcome\":\"%s\",\"jobs\":%d,\"subproblems\":%d,\"stats\":%s,\
+     \"workers\":[%s]}"
+    outcome r.jobs r.subproblems
+    (Opp_solver.stats_to_json r.stats)
+    (String.concat "," (List.map worker r.workers))

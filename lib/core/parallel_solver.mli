@@ -1,0 +1,114 @@
+(** Parallel OPP solving on OCaml 5 domains: root splitting plus a
+    search portfolio over {!Opp_solver}.
+
+    The root of the branch-and-bound tree is split into independent
+    subproblems by enumerating the first [depth] branching decisions
+    (each surviving decision prefix of the sequential tree becomes one
+    subproblem — up to [2^depth], fewer when propagation prunes a
+    prefix). A pool of [jobs] domains drains the subproblem queue; the
+    first worker to produce a definitive answer flips a shared atomic
+    cancellation flag that the others poll cooperatively, and when at
+    least two jobs are available one worker first runs a {e portfolio}
+    arm — the full search with the branch order flipped — whose exact
+    answer also cancels the pool.
+
+    {b Determinism.} Both solvers are exact, so the feasibility verdict
+    is independent of [jobs] and of scheduling: [Feasible]/[Infeasible]
+    answers agree with {!Opp_solver.solve} on every instance (the
+    witness placement may differ between runs; it is always validated).
+    Only when a budget ([node_limit], [deadline]) expires can the result
+    degrade — and then it degrades to [Timeout], never to a wrong
+    verdict. Node limits are enforced {e per worker}, so a parallel run
+    with the same [node_limit] explores up to [jobs] times more nodes
+    than a sequential one before giving up.
+
+    {b Domains.} [solve] spawns [jobs] fresh domains and joins all of
+    them before returning, including on cancellation and deadline paths
+    — no domain outlives the call. Nested use from inside another
+    domain is safe but multiplies the domain count. *)
+
+(** One recorded branching decision of a split prefix: pair [(u, v)] in
+    dimension [dim], [overlap] choosing component (overlap) versus
+    comparability (disjointness). *)
+type decision = {
+  dim : int;
+  u : int;
+  v : int;
+  overlap : bool;
+}
+
+type split =
+  | Root_infeasible of string
+      (** propagation already fails at the root; the instance is
+          infeasible *)
+  | Subproblems of decision list list
+      (** the surviving decision prefixes; solving all of them decides
+          the instance *)
+
+(** Per-worker telemetry. [arm] is ["split"] for pure queue workers and
+    ["portfolio+split"] for the worker that ran the flipped-order arm
+    first; [solved] counts subproblems this worker completed. *)
+type worker_report = {
+  worker : int;
+  arm : string;
+  solved : int;
+  stats : Opp_solver.stats;
+}
+
+type report = {
+  outcome : Opp_solver.outcome;
+  stats : Opp_solver.stats; (** merged over workers, wall-clock elapsed *)
+  workers : worker_report list;
+  subproblems : int; (** size of the root split (0 when settled earlier) *)
+  jobs : int;
+}
+
+(** [split_root ?options ?schedule ~depth instance container] computes
+    the depth-[depth] frontier of the sequential search tree. Exposed
+    for tests: the union of the subproblems' outcomes equals the
+    unsplit outcome, and no decision ever touches a precedence arc of
+    the DAG (those are pre-decided at state creation). *)
+val split_root :
+  ?options:Opp_solver.options ->
+  ?schedule:int array ->
+  depth:int ->
+  Instance.t ->
+  Geometry.Container.t ->
+  split
+
+(** [replay ?options ?schedule instance container prefix] rebuilds a
+    fresh root state and re-applies a split prefix. [Error] means the
+    prefix is infeasible. Exposed for tests. *)
+val replay :
+  ?options:Opp_solver.options ->
+  ?schedule:int array ->
+  Instance.t ->
+  Geometry.Container.t ->
+  decision list ->
+  (Packing_state.t, string) result
+
+(** The split depth used when none is given: roughly
+    [log2 (4 * jobs)], capped at 10. *)
+val default_split_depth : jobs:int -> int
+
+(** [solve ?options ?schedule ?jobs ?split_depth instance container]
+    decides the instance in parallel. Stages 1 and 2 (bounds,
+    heuristic) run once, sequentially, before any domain is spawned;
+    only the stage-3 search is parallelized. [jobs] defaults to 2 and
+    is clamped to at least 1; [split_depth] defaults to
+    {!default_split_depth}. All {!Opp_solver.options} budgets apply:
+    [deadline] is shared by every worker, [node_limit] is per worker,
+    [on_progress] may be called concurrently from several domains. *)
+val solve :
+  ?options:Opp_solver.options ->
+  ?schedule:int array ->
+  ?jobs:int ->
+  ?split_depth:int ->
+  Instance.t ->
+  Geometry.Container.t ->
+  report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** One-line JSON rendering of a report (for [--stats json]). *)
+val report_to_json : report -> string

@@ -6,7 +6,10 @@ type 'a optimum = {
   placement : Placement.t;
 }
 
-let feasible ?options inst cont = Opp_solver.feasible ?options inst cont
+let feasible ?options inst cont =
+  match Opp_solver.feasible ?options inst cont with
+  | Ok answer -> answer
+  | Error `Timeout -> failwith "Problems.feasible: budget exhausted"
 
 let solve_or_fail ?options ?schedule inst cont =
   match Opp_solver.solve ?options ?schedule inst cont with

@@ -18,7 +18,11 @@ type 'a optimum = {
   placement : Geometry.Placement.t;
 }
 
-(** [feasible ?options instance container] — FeasAT&FindS. *)
+(** [feasible ?options instance container] — FeasAT&FindS.
+    @raise Failure when a budget in [options] ([node_limit] or
+    [deadline]) expires before the decision is reached; budget-aware
+    callers should use {!Opp_solver.feasible}, which reports
+    [Error `Timeout] instead. *)
 val feasible :
   ?options:Opp_solver.options -> Instance.t -> Geometry.Container.t -> bool
 

@@ -1,0 +1,163 @@
+(* Differential harness: the packing-class solver, the domain-parallel
+   solver and the baseline geometric enumeration must agree on
+   feasibility for randomly generated instances (with and without
+   precedence DAGs), and every Feasible witness must pass geometric
+   validation and respect the precedence arcs.
+
+   The fast profile (plain `dune runtest`) runs 500+ random instances
+   with a fixed qcheck seed; `dune build @slow` multiplies the counts
+   via QCHECK_LONG (see test/dune). *)
+
+module Container = Geometry.Container
+module Placement = Geometry.Placement
+module Instance = Packing.Instance
+module Solver = Packing.Opp_solver
+module Par = Packing.Parallel_solver
+module BB = Baseline.Geometric_bb
+
+(* A fixed generator state makes `dune runtest` reproducible;
+   QCHECK_SEED (read by qcheck-alcotest before this default applies)
+   still wins when exported explicitly. *)
+let fixed_rand () =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> Random.State.make [| int_of_string s |]
+  | None -> Random.State.make [| 0x0FF1CE; 2026 |]
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest ~rand:(fixed_rand ())
+    (QCheck.Test.make ~count ~long_factor:10 ~name arb prop)
+
+(* Budgets large enough that these instance sizes never hit them; a
+   budget hit would surface as an Alcotest failure, not a skip. *)
+let seq_options = { Solver.default_options with node_limit = Some 2_000_000 }
+let geo_node_limit = 20_000_000
+
+type verdict =
+  | Yes of Placement.t
+  | No
+
+let check_witness name inst container p =
+  if not (Placement.is_feasible p ~container ~precedes:(Instance.precedes inst))
+  then QCheck.Test.fail_reportf "%s: witness fails geometric validation" name;
+  (* Redundant with [is_feasible]'s precedence check, but asserted
+     separately so a validator regression cannot mask an ordering bug. *)
+  let n = Instance.count inst in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Instance.precedes inst u v then
+        if Placement.finish_time p u > Placement.start_time p v then
+          QCheck.Test.fail_reportf "%s: witness violates arc %d -> %d" name u v
+    done
+  done
+
+let seq_verdict inst container =
+  match Solver.solve ~options:seq_options inst container with
+  | Solver.Feasible p, _ ->
+    check_witness "sequential" inst container p;
+    Yes p
+  | Solver.Infeasible, _ -> No
+  | Solver.Timeout, _ -> QCheck.Test.fail_report "sequential solver timed out"
+
+let par_verdict ~jobs inst container =
+  let r = Par.solve ~options:seq_options ~jobs inst container in
+  match r.Par.outcome with
+  | Solver.Feasible p ->
+    check_witness "parallel" inst container p;
+    Yes p
+  | Solver.Infeasible -> No
+  | Solver.Timeout -> QCheck.Test.fail_report "parallel solver timed out"
+
+(* The baseline's position enumeration can exhaust even a generous
+   budget on mid-size containers; a budget hit is "no verdict", not a
+   disagreement, so it only skips the geometric leg of the check. *)
+let geo_verdict inst container =
+  match BB.solve ~node_limit:geo_node_limit inst container with
+  | BB.Feasible p, _ ->
+    check_witness "geometric" inst container p;
+    Some (Yes p)
+  | BB.Infeasible, _ -> Some No
+  | BB.Timeout, _ -> None
+
+let agree a b = match (a, b) with
+  | Yes _, Yes _ | No, No -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Random instances (precedence DAG density varies, including none)    *)
+(* ------------------------------------------------------------------ *)
+
+let arb_random_case =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* n = int_range 2 5 in
+      let* max_extent = int_range 1 3 in
+      let* max_duration = int_range 1 3 in
+      let* arc_probability = oneofl [ 0.0; 0.25; 0.5 ] in
+      let* cw = int_range 3 6 and* ch = int_range 3 6 and* ct = int_range 3 7 in
+      return (seed, n, max_extent, max_duration, arc_probability, (cw, ch, ct)))
+  in
+  QCheck.make gen
+    ~print:(fun (seed, n, me, md, ap, (cw, ch, ct)) ->
+      Printf.sprintf "seed=%d n=%d max_extent=%d max_duration=%d arcs=%.2f cont=%dx%dx%d"
+        seed n me md ap cw ch ct)
+
+let random_case (seed, n, max_extent, max_duration, arc_probability, (cw, ch, ct)) =
+  ( Benchmarks.Generate.random ~seed ~n ~max_extent ~max_duration
+      ~arc_probability (),
+    Container.make3 ~w:cw ~h:ch ~t_max:ct )
+
+let prop_three_way_agreement case =
+  let inst, container = random_case case in
+  let s = seq_verdict inst container in
+  let p = par_verdict ~jobs:2 inst container in
+  agree s p
+  && match geo_verdict inst container with None -> true | Some g -> agree s g
+
+let prop_parallel_jobs_agree case =
+  let inst, container = random_case case in
+  let s = seq_verdict inst container in
+  List.for_all (fun jobs -> agree s (par_verdict ~jobs inst container)) [ 1; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Guillotine instances: feasible by construction                      *)
+(* ------------------------------------------------------------------ *)
+
+let arb_guillotine =
+  QCheck.make
+    QCheck.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* cuts = int_range 0 6 in
+      let* arc_probability = oneofl [ 0.0; 0.3; 0.6 ] in
+      return (seed, cuts, arc_probability))
+    ~print:(fun (seed, cuts, ap) ->
+      Printf.sprintf "seed=%d cuts=%d arcs=%.1f" seed cuts ap)
+
+let prop_guillotine_all_feasible (seed, cuts, arc_probability) =
+  let container = Container.make3 ~w:6 ~h:6 ~t_max:6 in
+  let inst, _witness =
+    Benchmarks.Generate.guillotine ~seed ~container ~cuts ~arc_probability ()
+  in
+  let feasible = function Yes _ -> true | No -> false in
+  feasible (seq_verdict inst container)
+  && feasible (par_verdict ~jobs:2 inst container)
+  && match geo_verdict inst container with
+     | None -> true
+     | Some g -> feasible g
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "three-way",
+        [
+          qtest ~count:300 "random: seq = par = geometric" arb_random_case
+            prop_three_way_agreement;
+          qtest ~count:100 "random: jobs 1 and 3 agree with seq" arb_random_case
+            prop_parallel_jobs_agree;
+        ] );
+      ( "guillotine",
+        [
+          qtest ~count:150 "feasible by construction, all three say yes"
+            arb_guillotine prop_guillotine_all_feasible;
+        ] );
+    ]

@@ -1,0 +1,373 @@
+(* Tests for the domain-parallel solver: root splitting, determinism
+   across job counts, deadline/cancellation behaviour, telemetry, and
+   the budget-aware [Opp_solver.feasible] result. *)
+
+module Box = Geometry.Box
+module Container = Geometry.Container
+module Placement = Geometry.Placement
+module Instance = Packing.Instance
+module Solver = Packing.Opp_solver
+module Par = Packing.Parallel_solver
+
+let box3 w h d = Box.make3 ~w ~h ~duration:d
+
+let inst ?precedence boxes =
+  Instance.make ?precedence ~boxes:(Array.of_list boxes) ()
+
+let cont3 w h t = Container.make3 ~w ~h ~t_max:t
+
+let search_only =
+  { Solver.default_options with use_bounds = false; use_heuristic = false }
+
+(* The seed-suite fixtures of test_packing.ml, as (name, instance,
+   container) triples covering feasible, infeasible and
+   precedence-bound cases, plus generated ones. *)
+let fixtures () =
+  [
+    ("single box", inst [ box3 2 2 2 ], cont3 2 2 2);
+    ("side by side", inst [ box3 2 2 2; box3 2 2 2 ], cont3 4 2 2);
+    ("too narrow", inst [ box3 2 2 2; box3 2 2 2 ], cont3 3 2 2);
+    ( "chain needs 4",
+      inst ~precedence:[ (0, 1) ] [ box3 2 2 2; box3 2 2 2 ],
+      cont3 4 4 3 );
+    ( "chain fits 4",
+      inst ~precedence:[ (0, 1) ] [ box3 2 2 2; box3 2 2 2 ],
+      cont3 4 4 4 );
+    ( "exact tiling",
+      inst [ box3 2 2 2; box3 2 2 2; box3 2 2 2; box3 2 2 2 ],
+      cont3 4 4 2 );
+    ( "tiling plus one",
+      inst [ box3 2 2 2; box3 2 2 2; box3 2 2 2; box3 2 2 2; box3 1 1 1 ],
+      cont3 4 4 2 );
+  ]
+  @ List.map
+      (fun seed ->
+        ( Printf.sprintf "random seed %d" seed,
+          Benchmarks.Generate.random ~seed ~n:5 ~max_extent:3 ~max_duration:3
+            ~arc_probability:0.3 (),
+          cont3 5 5 5 ))
+      [ 1; 2; 3; 4 ]
+  @ List.map
+      (fun seed ->
+        let container = cont3 6 6 6 in
+        let i, _ =
+          Benchmarks.Generate.guillotine ~seed ~container ~cuts:4
+            ~arc_probability:0.3 ()
+        in
+        (Printf.sprintf "guillotine seed %d" seed, i, container))
+      [ 1; 2; 3 ]
+
+let verdict = function
+  | Solver.Feasible _ -> `Feasible
+  | Solver.Infeasible -> `Infeasible
+  | Solver.Timeout -> `Timeout
+
+let pp_verdict = function
+  | `Feasible -> "feasible"
+  | `Infeasible -> "infeasible"
+  | `Timeout -> "timeout"
+
+let check_witness name i c = function
+  | Solver.Feasible p ->
+    Alcotest.(check bool)
+      (name ^ ": witness valid") true
+      (Placement.is_feasible p ~container:c ~precedes:(Instance.precedes i))
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Root splitting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Solving every subproblem of a split must reproduce the unsplit
+   verdict: any feasible subproblem => feasible, all infeasible =>
+   infeasible. *)
+let test_split_union () =
+  List.iter
+    (fun (name, i, c) ->
+      let seq, _ = Solver.solve ~options:search_only i c in
+      List.iter
+        (fun depth ->
+          match Par.split_root ~options:search_only ~depth i c with
+          | Par.Root_infeasible _ ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s depth %d: root conflict" name depth)
+              (pp_verdict (verdict seq)) "infeasible"
+          | Par.Subproblems subs ->
+            let outcomes =
+              List.map
+                (fun prefix ->
+                  match Par.replay ~options:search_only i c prefix with
+                  | Error _ -> `Infeasible
+                  | Ok st -> (
+                    match Solver.solve_state ~options:search_only st with
+                    | Solver.Feasible p, _ ->
+                      check_witness (name ^ " subproblem") i c
+                        (Solver.Feasible p);
+                      `Feasible
+                    | Solver.Infeasible, _ -> `Infeasible
+                    | Solver.Timeout, _ -> `Timeout))
+                subs
+            in
+            let union =
+              if List.mem `Feasible outcomes then `Feasible
+              else if List.for_all (fun o -> o = `Infeasible) outcomes then
+                `Infeasible
+              else `Timeout
+            in
+            Alcotest.(check string)
+              (Printf.sprintf "%s depth %d: union = unsplit" name depth)
+              (pp_verdict (verdict seq))
+              (pp_verdict union))
+        [ 1; 2; 4 ])
+    (fixtures ())
+
+(* Precedence arcs are decided before the search starts, so no split
+   decision in the time dimension may touch a DAG-related pair. *)
+let test_split_respects_precedence () =
+  List.iter
+    (fun seed ->
+      let i =
+        Benchmarks.Generate.random ~seed ~n:6 ~max_extent:3 ~max_duration:3
+          ~arc_probability:0.6 ()
+      in
+      let c = cont3 6 6 8 in
+      match Par.split_root ~options:search_only ~depth:6 i c with
+      | Par.Root_infeasible _ -> ()
+      | Par.Subproblems subs ->
+        List.iter
+          (List.iter (fun (d : Par.decision) ->
+               if d.dim = Instance.time_axis i then
+                 Alcotest.(check bool)
+                   (Printf.sprintf
+                      "seed %d: pair (%d,%d) branched in time is no DAG arc"
+                      seed d.u d.v)
+                   false
+                   (Instance.precedes i d.u d.v || Instance.precedes i d.v d.u)))
+          subs)
+    [ 11; 12; 13; 14; 15 ]
+
+let test_split_depth_default () =
+  Alcotest.(check int) "jobs 1" 2 (Par.default_split_depth ~jobs:1);
+  Alcotest.(check int) "jobs 4" 4 (Par.default_split_depth ~jobs:4);
+  Alcotest.(check bool) "capped" true (Par.default_split_depth ~jobs:10_000 <= 10)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across job counts                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_jobs_deterministic () =
+  List.iter
+    (fun (name, i, c) ->
+      let seq, _ = Solver.solve ~options:search_only i c in
+      List.iter
+        (fun jobs ->
+          let r = Par.solve ~options:search_only ~jobs i c in
+          check_witness name i c r.Par.outcome;
+          Alcotest.(check string)
+            (Printf.sprintf "%s: jobs %d = sequential" name jobs)
+            (pp_verdict (verdict seq))
+            (pp_verdict (verdict r.Par.outcome)))
+        [ 1; 2; 8 ])
+    (fixtures ())
+
+(* Full pipeline (bounds + heuristic prestage) agrees too. *)
+let test_pipeline_deterministic () =
+  List.iter
+    (fun (name, i, c) ->
+      let seq, _ = Solver.solve i c in
+      let r = Par.solve ~jobs:4 i c in
+      Alcotest.(check string)
+        (name ^ ": full pipeline")
+        (pp_verdict (verdict seq))
+        (pp_verdict (verdict r.Par.outcome)))
+    (fixtures ())
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines and cancellation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let hard_case () =
+  (* Search-only on the DE benchmark at a tight container: enough nodes
+     that any small deadline expires mid-search. *)
+  (Benchmarks.De.instance, cont3 17 17 12)
+
+let test_expired_deadline_times_out () =
+  let i, c = hard_case () in
+  let options =
+    { search_only with deadline = Some (Unix.gettimeofday () -. 1.0) }
+  in
+  (match Solver.solve ~options i c with
+  | Solver.Timeout, _ -> ()
+  | o, _ ->
+    Alcotest.failf "sequential: expected timeout, got %s" (pp_verdict (verdict o)));
+  let r = Par.solve ~options ~jobs:4 i c in
+  match r.Par.outcome with
+  | Solver.Timeout -> ()
+  | o -> Alcotest.failf "parallel: expected timeout, got %s" (pp_verdict (verdict o))
+
+let test_deadline_tolerance () =
+  let i, c = hard_case () in
+  let budget = 0.2 in
+  let t0 = Unix.gettimeofday () in
+  let options = { search_only with deadline = Some (t0 +. budget) } in
+  let r = Par.solve ~options ~jobs:4 i c in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* The run either finished early or was cut off close to the budget;
+     the tolerance is generous to absorb scheduler noise on loaded
+     machines. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "stopped within tolerance (%.3fs)" elapsed)
+    true
+    (elapsed <= budget +. 1.0);
+  match r.Par.outcome with
+  | Solver.Timeout | Solver.Feasible _ | Solver.Infeasible -> ()
+
+(* A deadline can degrade the answer to Timeout but never flip it: on
+   guillotine instances (feasible by construction) an Infeasible answer
+   would be a soundness bug. *)
+let test_deadline_never_wrong () =
+  List.iter
+    (fun seed ->
+      let container = cont3 6 6 6 in
+      let i, _ =
+        Benchmarks.Generate.guillotine ~seed ~container ~cuts:5
+          ~arc_probability:0.3 ()
+      in
+      let options =
+        { search_only with deadline = Some (Unix.gettimeofday () +. 0.002) }
+      in
+      let r = Par.solve ~options ~jobs:3 i container in
+      match r.Par.outcome with
+      | Solver.Infeasible ->
+        Alcotest.failf "seed %d: deadline flipped a feasible instance" seed
+      | Solver.Feasible p ->
+        Alcotest.(check bool)
+          "witness valid" true
+          (Placement.is_feasible p ~container
+             ~precedes:(Instance.precedes i))
+      | Solver.Timeout -> ())
+    (List.init 10 (fun k -> 100 + k))
+
+(* Cancellation joins every domain: repeated cancelled runs neither
+   hang nor accumulate stuck domains (a leak would deadlock or crash
+   long before this loop ends). *)
+let test_cancellation_joins_workers () =
+  let i, c = hard_case () in
+  for k = 1 to 10 do
+    let options =
+      { search_only with deadline = Some (Unix.gettimeofday () +. 0.01) }
+    in
+    let r = Par.solve ~options ~jobs:4 i c in
+    Alcotest.(check bool)
+      (Printf.sprintf "run %d reported workers" k)
+      true
+      (List.length r.Par.workers = 4)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_merge () =
+  let i, c = hard_case () in
+  let options = { search_only with node_limit = Some 2_000 } in
+  let r = Par.solve ~options ~jobs:3 i c in
+  let sum =
+    List.fold_left
+      (fun acc (w : Par.worker_report) -> acc + w.stats.Solver.nodes)
+      0 r.Par.workers
+  in
+  Alcotest.(check int) "merged nodes = sum over workers" sum
+    r.Par.stats.Solver.nodes;
+  Alcotest.(check bool) "some work happened" true (sum > 0);
+  Alcotest.(check bool) "depth recorded" true (r.Par.stats.Solver.max_depth > 0);
+  Alcotest.(check bool) "elapsed recorded" true (r.Par.stats.Solver.elapsed > 0.0)
+
+let test_on_progress () =
+  let i, c = hard_case () in
+  let calls = Atomic.make 0 in
+  let options =
+    {
+      search_only with
+      node_limit = Some 50_000;
+      on_progress = Some (fun _ -> Atomic.incr calls);
+    }
+  in
+  let _, stats = Solver.solve ~options i c in
+  if stats.Solver.nodes > 4096 then
+    Alcotest.(check bool) "progress callback fired" true (Atomic.get calls > 0)
+
+let test_report_json () =
+  let _, i, c = List.hd (fixtures ()) in
+  let r = Par.solve ~options:search_only ~jobs:2 i c in
+  let json = Par.report_to_json r in
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go k = k + nl <= jl && (String.sub json k nl = needle || go (k + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions outcome" true
+    (String.length json > 0 && json.[0] = '{' && contains "\"outcome\"");
+  Alcotest.(check bool) "mentions workers" true (contains "\"workers\"")
+
+(* ------------------------------------------------------------------ *)
+(* Opp_solver.feasible regression (budget-aware result)                *)
+(* ------------------------------------------------------------------ *)
+
+let test_feasible_result () =
+  let yes = inst [ box3 2 2 2 ] in
+  (match Solver.feasible yes (cont3 2 2 2) with
+  | Ok true -> ()
+  | _ -> Alcotest.fail "expected Ok true");
+  let no = inst [ box3 2 2 2; box3 2 2 2 ] in
+  (match Solver.feasible ~options:search_only no (cont3 3 2 2) with
+  | Ok false -> ()
+  | _ -> Alcotest.fail "expected Ok false");
+  let i, c = hard_case () in
+  match
+    Solver.feasible ~options:{ search_only with node_limit = Some 1 } i c
+  with
+  | Error `Timeout -> ()
+  | Ok b -> Alcotest.failf "expected Error `Timeout, got Ok %b" b
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "splitting",
+        [
+          Alcotest.test_case "union of subproblems = unsplit" `Quick
+            test_split_union;
+          Alcotest.test_case "never branches a DAG arc" `Quick
+            test_split_respects_precedence;
+          Alcotest.test_case "default depth" `Quick test_split_depth_default;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs 1/2/8 match sequential" `Quick
+            test_jobs_deterministic;
+          Alcotest.test_case "full pipeline matches" `Quick
+            test_pipeline_deterministic;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "expired deadline times out" `Quick
+            test_expired_deadline_times_out;
+          Alcotest.test_case "stops within tolerance" `Quick
+            test_deadline_tolerance;
+          Alcotest.test_case "never a wrong answer" `Quick
+            test_deadline_never_wrong;
+          Alcotest.test_case "cancellation joins workers" `Quick
+            test_cancellation_joins_workers;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "stats merge" `Quick test_stats_merge;
+          Alcotest.test_case "on_progress fires" `Quick test_on_progress;
+          Alcotest.test_case "report json" `Quick test_report_json;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "feasible returns result" `Quick
+            test_feasible_result;
+        ] );
+    ]
