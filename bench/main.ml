@@ -530,6 +530,109 @@ let parallel_bench () =
   Format.printf "  wrote BENCH_parallel.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Engine throughput: nodes/s of the sequential stage-3 kernel on the  *)
+(* calibrated instance set, written to BENCH_engine.json               *)
+(* ------------------------------------------------------------------ *)
+
+(* Node budget per instance: large enough that per-run fixed costs
+   vanish, small enough that the whole sweep stays under a minute. *)
+let engine_node_budget = 120_000
+
+(* Pre-overhaul throughput (nodes/s), measured on this machine at
+   commit 66ebf77 with the same node budget and instance set, kernel at
+   default options (realization attempted at every node, from-scratch
+   choose_unknown, Hashtbl-based changed_pairs). The engine bench
+   reports current/baseline per instance and the geometric mean. *)
+let engine_baseline_nodes_per_s : (string * float) list =
+  [
+    ("random s101 n10 7x7x8", 37802.0);
+    ("random s293 n10 6x6x7", 51119.0);
+    ("random s307 n10 6x6x7", 41985.0);
+    ("random s241 n9 6x6x7", 31483.0);
+    ("random s21 n9 7x7x7", 46467.0);
+    ("random s5 n11 8x8x8", 39544.0);
+    ("random s199 n11 8x8x8", 20338.0);
+  ]
+
+let engine_cases () =
+  (* The calibrated parallel cases plus one infeasible exhaustive case:
+     throughput must be measured on searches that actually run long
+     enough to average out startup. *)
+  parallel_cases ()
+
+let engine_bench () =
+  Format.printf
+    "@.== Engine: sequential stage-3 node throughput (budget %d nodes) ==@."
+    engine_node_budget;
+  Format.printf
+    "  instance                   nodes     time       nodes/s   baseline   speedup@.";
+  let options =
+    { search_only with Packing.Opp_solver.node_limit = Some engine_node_budget }
+  in
+  let rows = ref [] in
+  let ratios = ref [] in
+  List.iter
+    (fun (name, inst, cont) ->
+      let (outcome, stats), dt =
+        wall (fun () -> Packing.Opp_solver.solve ~options inst cont)
+      in
+      let nodes = stats.Packing.Opp_solver.nodes in
+      let rate = if dt > 0.0 then float_of_int nodes /. dt else 0.0 in
+      let baseline = List.assoc_opt name engine_baseline_nodes_per_s in
+      let speedup =
+        match baseline with
+        | Some b when b > 0.0 ->
+          ratios := (rate /. b) :: !ratios;
+          rate /. b
+        | _ -> 0.0
+      in
+      Format.printf "  %-24s %8d  %7.3f s  %9.0f  %9.0f  %6.2fx@." name nodes
+        dt rate
+        (match baseline with Some b -> b | None -> 0.0)
+        speedup;
+      rows :=
+        Printf.sprintf
+          "{\"instance\":\"%s\",\"outcome\":\"%s\",\"nodes\":%d,\
+           \"elapsed_s\":%.6f,\"nodes_per_s\":%.1f,\
+           \"baseline_nodes_per_s\":%s,\"speedup\":%s}"
+          name
+          (Format.asprintf "%a" Packing.Opp_solver.pp_outcome outcome)
+          nodes dt rate
+          (match baseline with
+          | Some b -> Printf.sprintf "%.1f" b
+          | None -> "null")
+          (match baseline with
+          | Some b when b > 0.0 -> Printf.sprintf "%.3f" (rate /. b)
+          | _ -> "null")
+        :: !rows)
+    (engine_cases ());
+  let geomean =
+    match !ratios with
+    | [] -> None
+    | rs ->
+      let log_sum = List.fold_left (fun a r -> a +. log r) 0.0 rs in
+      Some (exp (log_sum /. float_of_int (List.length rs)))
+  in
+  (match geomean with
+  | Some g -> Format.printf "  geometric-mean speedup: %.2fx@." g
+  | None -> Format.printf "  (no baseline recorded: speedups omitted)@.");
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\"node_budget\":%d,\"note\":\"search-only stage 3, sequential, \
+        default kernel options; baseline measured pre-overhaul at commit \
+        66ebf77 on the same machine\",\"geomean_speedup\":%s,\"cases\":[\n\
+        %s\n\
+        ]}\n"
+       engine_node_budget
+       (match geomean with
+       | Some g -> Printf.sprintf "%.3f" g
+       | None -> "null")
+       (String.concat ",\n" (List.rev !rows)));
+  close_out oc;
+  Format.printf "  wrote BENCH_engine.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table / figure         *)
 (* ------------------------------------------------------------------ *)
 
@@ -608,6 +711,7 @@ let () =
       ("online", online);
       ("parallel", parallel_bench);
       ("parallel-calibrate", parallel_calibrate);
+      ("engine", engine_bench);
       ("bechamel", run_bechamel);
     ]
   in

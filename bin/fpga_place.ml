@@ -110,17 +110,32 @@ let stats_opt =
            ~doc:"Print solver statistics in the given format (only: json). \
                  With --jobs > 1 the report includes per-worker counters.")
 
-let options_with_deadline time_limit =
+let realize_opt =
+  Arg.(value
+       & opt (enum [ ("adaptive", `Adaptive); ("always", `Always); ("never", `Never) ])
+           `Adaptive
+       & info [ "realize" ] ~docv:"POLICY"
+           ~doc:"Throttle for the per-node early-realization attempt: \
+                 adaptive (default; attempt only once enough pairs are \
+                 decided, with exponential backoff on failures), always \
+                 (every node, the pre-throttle behavior), or never (exact \
+                 leaf checks only). The verdict is identical under every \
+                 policy; only the search speed changes.")
+
+let options_with_deadline time_limit realize =
+  let realize =
+    match realize with
+    | `Adaptive -> Packing.Opp_solver.default_realize
+    | `Always -> Packing.Opp_solver.Realize_always
+    | `Never -> Packing.Opp_solver.Realize_never
+  in
+  let options = { Packing.Opp_solver.default_options with realize } in
   match time_limit with
-  | None -> Packing.Opp_solver.default_options
-  | Some s ->
-    {
-      Packing.Opp_solver.default_options with
-      deadline = Some (Unix.gettimeofday () +. s);
-    }
+  | None -> options
+  | Some s -> { options with deadline = Some (Unix.gettimeofday () +. s) }
 
 let solve_cmd =
-  let run file chip time render quiet svg jobs time_limit stats =
+  let run file chip time render quiet svg jobs time_limit stats realize =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
@@ -129,7 +144,7 @@ let solve_cmd =
       | Ok chip, Ok t_max -> (
         let inst = io.Fpga.Instance_io.instance in
         let container = Fpga.Chip.container chip ~t_max in
-        let options = options_with_deadline time_limit in
+        let options = options_with_deadline time_limit realize in
         let finish outcome pp_report =
           match outcome with
           | Packing.Opp_solver.Feasible p ->
@@ -168,7 +183,7 @@ let solve_cmd =
   let doc = "Decide feasibility of a placement (FeasAT&FindS)." in
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(const run $ file_arg $ chip_opt $ time_opt $ render_flag $ quiet_flag
-          $ svg_opt $ jobs_opt $ time_limit_opt $ stats_opt)
+          $ svg_opt $ jobs_opt $ time_limit_opt $ stats_opt $ realize_opt)
 
 let min_time_cmd =
   let run file chip render quiet =

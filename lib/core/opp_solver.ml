@@ -11,7 +11,17 @@ type stats = {
   elapsed : float;
   by_bounds : bool;
   by_heuristic : bool;
+  rules : Telemetry.rule_counters;
 }
+
+type realize_policy =
+  | Realize_always
+  | Realize_never
+  | Realize_adaptive of {
+      min_decided_fraction : float;
+      min_trail_delta : int;
+      backoff_limit : int;
+    }
 
 type options = {
   rules : Packing_state.rules;
@@ -22,7 +32,12 @@ type options = {
   interrupt : (unit -> bool) option;
   on_progress : (stats -> unit) option;
   component_first : bool;
+  realize : realize_policy;
 }
+
+let default_realize =
+  Realize_adaptive
+    { min_decided_fraction = 0.4; min_trail_delta = 8; backoff_limit = 64 }
 
 let default_options =
   {
@@ -34,6 +49,7 @@ let default_options =
     interrupt = None;
     on_progress = None;
     component_first = true;
+    realize = default_realize;
   }
 
 exception Found of Geometry.Placement.t
@@ -52,6 +68,20 @@ let progress_mask = 1023
 let search ~options ~t0 ~depth_offset state =
   let nodes = ref 0 and conflicts = ref 0 and leaves = ref 0 in
   let max_depth = ref depth_offset in
+  let realize_attempts = ref 0 and realize_time = ref 0.0 in
+  (* Throttle state: trail size and node index of the last opportunistic
+     attempt, plus the consecutive-failure count driving the backoff.
+     Initialized so the very first eligible node attempts. *)
+  let last_attempt_trail = ref (min_int / 2) in
+  let last_attempt_node = ref (min_int / 2) in
+  let consec_failures = ref 0 in
+  let rules_snapshot () =
+    {
+      (Packing_state.rule_counters state) with
+      Telemetry.realize_attempts = !realize_attempts;
+      realize_time_s = !realize_time;
+    }
+  in
   let snapshot ~by_bounds ~by_heuristic =
     {
       nodes = !nodes;
@@ -61,6 +91,7 @@ let search ~options ~t0 ~depth_offset state =
       elapsed = Unix.gettimeofday () -. t0;
       by_bounds;
       by_heuristic;
+      rules = rules_snapshot ();
     }
   in
   let finish outcome ~by_bounds ~by_heuristic =
@@ -83,6 +114,18 @@ let search ~options ~t0 ~depth_offset state =
       f (snapshot ~by_bounds:false ~by_heuristic:false)
     | _ -> ()
   in
+  let should_attempt () =
+    match options.realize with
+    | Realize_always -> true
+    | Realize_never -> false
+    | Realize_adaptive { min_decided_fraction; min_trail_delta; backoff_limit }
+      ->
+      Packing_state.decided_fraction state >= min_decided_fraction
+      && abs (Packing_state.total_trail state - !last_attempt_trail)
+         >= min_trail_delta
+      && !nodes - !last_attempt_node
+         >= min backoff_limit (1 lsl min !consec_failures 20)
+  in
   let rec dfs depth =
     incr nodes;
     if depth > !max_depth then max_depth := depth;
@@ -90,15 +133,31 @@ let search ~options ~t0 ~depth_offset state =
     (* Early realization: if the decided part of the class already
        forces a feasible layout, stop — the validator guarantees
        soundness, undecided pairs merely lose their "must overlap"
-       freedom. The attempt is budget-limited; the exact check
-       runs at true leaves below. *)
-    (match Reconstruct.attempt state with
-    | Some placement -> raise (Found placement)
-    | None -> ());
+       freedom. The attempt is budget-limited and, under the adaptive
+       policy, only fires when enough has been decided (or changed
+       since the last try) to give it a real chance; consecutive
+       failures back it off exponentially. The exact check at true
+       leaves below is never throttled, so every policy — including
+       [Realize_never] — returns the same verdict. *)
+    if should_attempt () then begin
+      incr realize_attempts;
+      last_attempt_node := !nodes;
+      last_attempt_trail := Packing_state.total_trail state;
+      let a0 = Unix.gettimeofday () in
+      let hit = Reconstruct.attempt state in
+      realize_time := !realize_time +. (Unix.gettimeofday () -. a0);
+      match hit with
+      | Some placement -> raise (Found placement)
+      | None -> incr consec_failures
+    end;
     match Packing_state.choose_unknown state with
     | None -> (
       incr leaves;
-      match Reconstruct.of_state state with
+      incr realize_attempts;
+      let a0 = Unix.gettimeofday () in
+      let hit = Reconstruct.of_state state in
+      realize_time := !realize_time +. (Unix.gettimeofday () -. a0);
+      match hit with
       | Some placement -> raise (Found placement)
       | None -> incr conflicts)
     | Some (dim, u, v) ->
@@ -140,6 +199,7 @@ let solve ?(options = default_options) ?schedule inst cont =
         elapsed = Unix.gettimeofday () -. t0;
         by_bounds;
         by_heuristic;
+        rules = Telemetry.zero_rules;
       } )
   in
   (* Stage 1: try to disprove existence by bounds. *)
@@ -179,16 +239,24 @@ let pp_outcome fmt = function
 let pp_stats fmt s =
   Format.fprintf fmt
     "nodes=%d conflicts=%d leaves=%d depth=%d elapsed=%.3fs bounds=%b \
-     heuristic=%b"
+     heuristic=%b realizations=%d"
     s.nodes s.conflicts s.leaves s.max_depth s.elapsed s.by_bounds
-    s.by_heuristic
+    s.by_heuristic s.rules.Telemetry.realize_attempts
 
-let stats_to_json s =
-  Printf.sprintf
-    "{\"nodes\":%d,\"conflicts\":%d,\"leaves\":%d,\"max_depth\":%d,\
-     \"elapsed_s\":%.6f,\"by_bounds\":%b,\"by_heuristic\":%b}"
-    s.nodes s.conflicts s.leaves s.max_depth s.elapsed s.by_bounds
-    s.by_heuristic
+let stats_json s =
+  Telemetry.Obj
+    [
+      ("nodes", Telemetry.Int s.nodes);
+      ("conflicts", Telemetry.Int s.conflicts);
+      ("leaves", Telemetry.Int s.leaves);
+      ("max_depth", Telemetry.Int s.max_depth);
+      ("elapsed_s", Telemetry.seconds s.elapsed);
+      ("by_bounds", Telemetry.Bool s.by_bounds);
+      ("by_heuristic", Telemetry.Bool s.by_heuristic);
+      ("rules", Telemetry.rules_to_json s.rules);
+    ]
+
+let stats_to_json s = Telemetry.to_string (stats_json s)
 
 let merge_stats a b =
   {
@@ -199,6 +267,7 @@ let merge_stats a b =
     elapsed = max a.elapsed b.elapsed;
     by_bounds = a.by_bounds || b.by_bounds;
     by_heuristic = a.by_heuristic || b.by_heuristic;
+    rules = Telemetry.add_rules a.rules b.rules;
   }
 
 let empty_stats =
@@ -210,4 +279,5 @@ let empty_stats =
     elapsed = 0.0;
     by_bounds = false;
     by_heuristic = false;
+    rules = Telemetry.zero_rules;
   }

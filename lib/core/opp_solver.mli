@@ -27,7 +27,36 @@ type stats = {
   elapsed : float; (** wall-clock seconds spent in the solve *)
   by_bounds : bool; (** settled by stage-1 bounds *)
   by_heuristic : bool; (** settled by the stage-2 heuristic *)
+  rules : Telemetry.rule_counters;
+      (** where propagation time went: per-rule call/time counters plus
+          the realization attempt count (opportunistic per-node tries
+          and exact leaf checks combined) *)
 }
+
+(** When the search runs the opportunistic budget-limited realization
+    attempt ({!Reconstruct.attempt}) at an interior node. The exact
+    leaf check is never throttled, so every policy returns the same
+    verdict; the policy only trades early-exit chances on feasible
+    instances against per-node overhead. *)
+type realize_policy =
+  | Realize_always  (** attempt at every node (the historical behavior) *)
+  | Realize_never  (** interior attempts off; leaf checks only *)
+  | Realize_adaptive of {
+      min_decided_fraction : float;
+          (** attempt only once this fraction of (pair, dimension)
+              slots is decided — early, sparse states almost never
+              realize *)
+      min_trail_delta : int;
+          (** and only after the propagation trail moved at least this
+              far (in either direction) since the last attempt — an
+              unchanged state cannot realize any better than it just
+              failed to *)
+      backoff_limit : int;
+          (** consecutive failures double a node-count cooldown between
+              attempts, capped at this many nodes *)
+    }
+
+val default_realize : realize_policy
 
 type options = {
   rules : Packing_state.rules; (** propagation toggles (ablations) *)
@@ -50,6 +79,9 @@ type options = {
           parallel solve it may be invoked concurrently from several
           domains. *)
   component_first : bool; (** branch order at each decision *)
+  realize : realize_policy;
+      (** throttle for the per-node realization attempt; defaults to
+          {!default_realize} (adaptive) *)
 }
 
 val default_options : options
@@ -93,6 +125,10 @@ val feasible :
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Stats as a {!Telemetry.json} value, for embedding into larger
+    reports ({!Parallel_solver.report_to_json}). *)
+val stats_json : stats -> Telemetry.json
 
 (** One-line JSON rendering of a stats record (for [--stats json]). *)
 val stats_to_json : stats -> string

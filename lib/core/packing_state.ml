@@ -16,13 +16,52 @@ let default_rules =
     component_cliques = true;
   }
 
+(* Mutable per-rule telemetry; snapshot via [rule_counters]. *)
+type counters = {
+  mutable c2_calls : int;
+  mutable c2_time : float;
+  mutable c4_calls : int;
+  mutable c4_time : float;
+  mutable capacity_calls : int;
+  mutable capacity_time : float;
+  mutable implication_calls : int;
+  mutable implication_time : float;
+}
+
 type t = {
   inst : Instance.t;
   cont : Container.t;
+  n : int;
+  words : int; (* bitset words per adjacency row: ceil (n / 63) *)
   dims : OG.t array;
-  processed : int array; (* per-dimension trail mark already cross-checked *)
+  processed : int array;
+      (* per-dimension trail watermark: entries below it have been
+         cross-checked by the packing rules AND mirrored into the
+         derived structures below. *)
   rules : rules;
   symmetric : bool array; (* pair u*n+v (u<v): tasks interchangeable *)
+  (* ---- static per-instance tables ------------------------------- *)
+  ext : int array array; (* ext.(k).(i): extent of task i along k *)
+  cross_w : int array array; (* product of extents of i except axis k *)
+  cap : int array; (* container extent per axis *)
+  capf : float array;
+  cross_cap : int array; (* container volume excluding axis k *)
+  score_order : int array array;
+      (* per dimension: packed pair indices (u*n+v, u<v) sorted by
+         combined extent descending, ties lexicographic — the static
+         branching priority within a dimension. *)
+  (* ---- trail-synced derived state ------------------------------- *)
+  comp_adj : int array array;
+      (* per dimension, flat n*words bitset rows: bit j of row i says
+         {i,j} is a comparability edge in that dimension. *)
+  ovl_adj : int array array; (* same, for component (overlap) edges *)
+  comp_deg : int array array; (* per dimension, comparable degree per vertex *)
+  comp_dims : int array;
+      (* per packed pair: number of dimensions where it is comparable;
+         0 = "C3 pressure" (the pair still owes a separation). *)
+  mutable decided_slots : int; (* decided (pair, dimension) slots *)
+  total_slots : int;
+  stats : counters;
   mutable propagations : int;
 }
 
@@ -63,9 +102,73 @@ let dimension t k = t.dims.(k)
 let propagations t = t.propagations
 let mark t = Array.map OG.mark t.dims
 
+let decided_fraction t =
+  if t.total_slots = 0 then 1.0
+  else float_of_int t.decided_slots /. float_of_int t.total_slots
+
+let total_trail t = Array.fold_left (fun acc og -> acc + OG.mark og) 0 t.dims
+
+let rule_counters t =
+  {
+    Telemetry.zero_rules with
+    Telemetry.c2_calls = t.stats.c2_calls;
+    c2_time_s = t.stats.c2_time;
+    c4_calls = t.stats.c4_calls;
+    c4_time_s = t.stats.c4_time;
+    capacity_calls = t.stats.capacity_calls;
+    capacity_time_s = t.stats.capacity_time;
+    implication_calls = t.stats.implication_calls;
+    implication_time_s = t.stats.implication_time;
+  }
+
+let clock = Unix.gettimeofday
+
+(* ------------------------------------------------------------------ *)
+(* Adjacency bitsets                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bit_test adj ~words i j =
+  adj.((i * words) + (j / 63)) land (1 lsl (j mod 63)) <> 0
+
+let bit_flip adj ~words i j =
+  let w = (i * words) + (j / 63) in
+  adj.(w) <- adj.(w) lxor (1 lsl (j mod 63))
+
+(* Mirror one trail transition of dimension [k] into the derived
+   structures. Edge states only ever move 0 -> {1,2,3,4} and 2 -> {3,4}
+   on the forward path, so each (pair, dimension) contributes at most
+   one [prev = 0] entry per trail window and the updates below are
+   exact inverses of each other. *)
+let apply_transition t k u v ~prev ~cur ~dir =
+  if prev = 0 then begin
+    t.decided_slots <- t.decided_slots + dir;
+    if cur >= 2 then begin
+      let idx = (u * t.n) + v in
+      t.comp_dims.(idx) <- t.comp_dims.(idx) + dir;
+      t.comp_deg.(k).(u) <- t.comp_deg.(k).(u) + dir;
+      t.comp_deg.(k).(v) <- t.comp_deg.(k).(v) + dir;
+      bit_flip t.comp_adj.(k) ~words:t.words u v;
+      bit_flip t.comp_adj.(k) ~words:t.words v u
+    end
+    else begin
+      bit_flip t.ovl_adj.(k) ~words:t.words u v;
+      bit_flip t.ovl_adj.(k) ~words:t.words v u
+    end
+  end
+
+let sync_window t k ~since ~until =
+  OG.iter_trail_window t.dims.(k) ~since ~until (fun u v ~prev ~cur ->
+      apply_transition t k u v ~prev ~cur ~dir:1)
+
 let undo_to t marks =
   Array.iteri
     (fun k m ->
+      let synced = t.processed.(k) in
+      if synced > m then
+        (* Entries in [synced, len) were never mirrored (a conflict cut
+           the stabilization short); revert exactly the applied prefix. *)
+        OG.iter_trail_window t.dims.(k) ~since:m ~until:synced
+          (fun u v ~prev ~cur -> apply_transition t k u v ~prev ~cur ~dir:(-1));
       OG.undo_to t.dims.(k) m;
       t.processed.(k) <- min t.processed.(k) m)
     marks
@@ -99,51 +202,67 @@ let rule_c3 t u v =
     | Error c -> fail_of c !free
   else Ok ()
 
+(* Shared clique machinery for C2 and the capacity rule: depth-first
+   max-weight clique extension through the pair (u, v), with candidates
+   seeded from the adjacency bitset rows (one AND per word instead of
+   O(n) edge-state probes) and the usual additive bound. *)
+let max_clique_weight t ~adj ~weight ~cap ~base u v =
+  let words = t.words in
+  let n = t.n in
+  (* candidates = row u ∩ row v, in ascending vertex order; neither u
+     nor v appears (no self-loops). *)
+  let candidates = ref [] in
+  let cands_weight = ref 0 in
+  for w = n - 1 downto 0 do
+    if
+      adj.((u * words) + (w / 63))
+      land adj.((v * words) + (w / 63))
+      land (1 lsl (w mod 63))
+      <> 0
+    then begin
+      candidates := w :: !candidates;
+      cands_weight := !cands_weight + weight.(w)
+    end
+  done;
+  let best = ref base in
+  let rec go weight_so_far cands cands_weight =
+    if weight_so_far > !best then best := weight_so_far;
+    if !best <= cap then
+      match cands with
+      | [] -> ()
+      | w :: rest ->
+        if weight_so_far + cands_weight > !best then begin
+          let nbrs, nbrs_weight =
+            List.fold_left
+              (fun (acc, tw) x ->
+                if bit_test adj ~words w x then (x :: acc, tw + weight.(x))
+                else (acc, tw))
+              ([], 0) rest
+          in
+          go (weight_so_far + weight.(w)) (List.rev nbrs) nbrs_weight;
+          go weight_so_far rest (cands_weight - weight.(w))
+        end
+  in
+  go base !candidates !cands_weight;
+  !best
+
 (* C2: maximum-weight clique of the pairwise-comparable relation in one
-   dimension, restricted to cliques through the pair (u, v). The search
-   runs directly on the edge-state store to avoid building graphs. *)
+   dimension, restricted to cliques through the pair (u, v). *)
 let rule_c2 t k u v =
   if not t.rules.c2_cliques then Ok ()
   else begin
-    let og = t.dims.(k) in
-    let n = Instance.count t.inst in
-    let cap = Container.extent t.cont k in
-    let weight i = Instance.extent t.inst i k in
-    let comparable a b = OG.kind og a b = OG.Comparable in
-    let candidates = ref [] in
-    for w = n - 1 downto 0 do
-      if w <> u && w <> v && comparable w u && comparable w v then
-        candidates := w :: !candidates
-    done;
-    let base = weight u + weight v in
-    let best = ref base in
-    (* Depth-first max-weight clique extension with an additive bound. *)
-    let rec go members weight_so_far cands cands_weight =
-      if weight_so_far > !best then best := weight_so_far;
-      if !best <= cap then
-        match cands with
-        | [] -> ()
-        | w :: rest ->
-          if weight_so_far + cands_weight > !best then begin
-            let nbrs, nbrs_weight =
-              List.fold_left
-                (fun (acc, tw) x ->
-                  if comparable w x then (x :: acc, tw + weight x)
-                  else (acc, tw))
-                ([], 0) rest
-            in
-            go (w :: members) (weight_so_far + weight w) (List.rev nbrs)
-              nbrs_weight;
-            go members weight_so_far rest (cands_weight - weight w)
-          end
+    let weight = t.ext.(k) in
+    let cap = t.cap.(k) in
+    let base = weight.(u) + weight.(v) in
+    let best =
+      if t.comp_deg.(k).(u) <= 1 || t.comp_deg.(k).(v) <= 1 then base
+      else max_clique_weight t ~adj:t.comp_adj.(k) ~weight ~cap ~base u v
     in
-    let cands_weight = List.fold_left (fun a w -> a + weight w) 0 !candidates in
-    go [ u; v ] base !candidates cands_weight;
-    if !best > cap then
+    if best > cap then
       Error
         (Printf.sprintf
            "C2: comparable chain through (%d,%d) needs %d > %d in dim %d" u v
-           !best cap k)
+           best cap k)
     else Ok ()
   end
 
@@ -157,68 +276,31 @@ let rule_c2 t k u v =
 let rule_component_clique t k u v =
   if not t.rules.component_cliques then Ok ()
   else begin
-    let og = t.dims.(k) in
-    let n = Instance.count t.inst in
-    let d = Instance.dim t.inst in
-    let cross_weight i =
-      let w = ref 1 in
-      for j = 0 to d - 1 do
-        if j <> k then w := !w * Instance.extent t.inst i j
-      done;
-      !w
-    in
-    let cap = ref 1 in
-    for j = 0 to d - 1 do
-      if j <> k then cap := !cap * Container.extent t.cont j
-    done;
-    let cap = !cap in
-    let overlapping a b = OG.kind og a b = OG.Component in
-    let candidates = ref [] in
-    for w = n - 1 downto 0 do
-      if w <> u && w <> v && overlapping w u && overlapping w v then
-        candidates := w :: !candidates
-    done;
-    let base = cross_weight u + cross_weight v in
-    let best = ref base in
-    let rec go weight_so_far cands cands_weight =
-      if weight_so_far > !best then best := weight_so_far;
-      if !best <= cap then
-        match cands with
-        | [] -> ()
-        | w :: rest ->
-          if weight_so_far + cands_weight > !best then begin
-            let nbrs, nbrs_weight =
-              List.fold_left
-                (fun (acc, tw) x ->
-                  if overlapping w x then (x :: acc, tw + cross_weight x)
-                  else (acc, tw))
-                ([], 0) rest
-            in
-            go (weight_so_far + cross_weight w) (List.rev nbrs) nbrs_weight;
-            go weight_so_far rest (cands_weight - cross_weight w)
-          end
-    in
-    let cands_weight =
-      List.fold_left (fun a w -> a + cross_weight w) 0 !candidates
-    in
-    go base !candidates cands_weight;
-    if !best > cap then
+    let weight = t.cross_w.(k) in
+    let cap = t.cross_cap.(k) in
+    let base = weight.(u) + weight.(v) in
+    let best = max_clique_weight t ~adj:t.ovl_adj.(k) ~weight ~cap ~base u v in
+    if best > cap then
       Error
         (Printf.sprintf
            "capacity: tasks overlapping (%d,%d) in dim %d need cross-section \
             %d > %d"
-           u v k !best cap)
+           u v k best cap)
     else Ok ()
   end
 
 (* C1, chordless 4-cycles, triggered by a new component edge (u,v):
-   look for 4-cycles u - v - w - z - u of component edges. *)
+   look for 4-cycles u - v - w - z - u of component edges. The cycle
+   edges are read from the overlap bitsets (synced through the window
+   being processed); diagonals are read live so forcings made earlier
+   in the same scan are respected. *)
 let rule_c4_edge t k u v =
   if not t.rules.c4_cycles then Ok ()
   else begin
     let og = t.dims.(k) in
-    let n = Instance.count t.inst in
-    let comp a b = OG.kind og a b = OG.Component in
+    let n = t.n in
+    let words = t.words in
+    let ovl = t.ovl_adj.(k) in
     let result = ref (Ok ()) in
     let handle_diagonals d1u d1v d2u d2v =
       (* diagonal 1 = (d1u,d1v), diagonal 2 = (d2u,d2v) *)
@@ -241,9 +323,13 @@ let rule_c4_edge t k u v =
     in
     (try
        for w = 0 to n - 1 do
-         if w <> u && w <> v && comp v w then
+         if w <> u && w <> v && bit_test ovl ~words v w then
            for z = 0 to n - 1 do
-             if z <> u && z <> v && z <> w && comp w z && comp z u then begin
+             if
+               z <> u && z <> v && z <> w
+               && bit_test ovl ~words w z
+               && bit_test ovl ~words z u
+             then begin
                handle_diagonals u w v z;
                match !result with Error _ -> raise Exit | Ok () -> ()
              end
@@ -259,14 +345,23 @@ let rule_c4_diagonal t k u v =
   if not t.rules.c4_cycles then Ok ()
   else begin
     let og = t.dims.(k) in
-    let n = Instance.count t.inst in
-    let comp a b = OG.kind og a b = OG.Component in
+    let n = t.n in
+    let words = t.words in
+    let ovl = t.ovl_adj.(k) in
     let result = ref (Ok ()) in
     (try
        for a = 0 to n - 1 do
-         if a <> u && a <> v && comp u a && comp a v then
+         if
+           a <> u && a <> v
+           && bit_test ovl ~words u a
+           && bit_test ovl ~words a v
+         then
            for b = a + 1 to n - 1 do
-             if b <> u && b <> v && comp u b && comp b v then begin
+             if
+               b <> u && b <> v
+               && bit_test ovl ~words u b
+               && bit_test ovl ~words b v
+             then begin
                (match OG.kind og a b with
                | OG.Comparable ->
                  result :=
@@ -291,22 +386,78 @@ let rule_c4_diagonal t k u v =
 (* Fixpoint                                                            *)
 (* ------------------------------------------------------------------ *)
 
+exception Rule_conflict of string
+
+let handle_pair t k u v =
+  let c = t.stats in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  match OG.kind t.dims.(k) u v with
+  | OG.Component ->
+    let* () = rule_c3 t u v in
+    let* () =
+      let t0 = clock () in
+      let r = rule_component_clique t k u v in
+      c.capacity_calls <- c.capacity_calls + 1;
+      c.capacity_time <- c.capacity_time +. (clock () -. t0);
+      r
+    in
+    let t0 = clock () in
+    let r = rule_c4_edge t k u v in
+    c.c4_calls <- c.c4_calls + 1;
+    c.c4_time <- c.c4_time +. (clock () -. t0);
+    r
+  | OG.Comparable ->
+    let* () =
+      let t0 = clock () in
+      let r = rule_c2 t k u v in
+      c.c2_calls <- c.c2_calls + 1;
+      c.c2_time <- c.c2_time +. (clock () -. t0);
+      r
+    in
+    let* () =
+      let t0 = clock () in
+      let r = rule_c4_diagonal t k u v in
+      c.c4_calls <- c.c4_calls + 1;
+      c.c4_time <- c.c4_time +. (clock () -. t0);
+      r
+    in
+    (* Symmetry breaking: interchangeable tasks that end up
+       time-comparable always run in index order. *)
+    if
+      k = Instance.time_axis t.inst
+      && u < v
+      && t.symmetric.((u * t.n) + v)
+    then
+      match OG.force_arc t.dims.(k) u v with
+      | Ok () -> Ok ()
+      | Error conflict -> fail_of conflict k
+    else Ok ()
+  | OG.Unknown -> Ok ()
+
 let stabilize t =
   let d = Array.length t.dims in
+  let c = t.stats in
   let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
   let rec loop () =
     t.propagations <- t.propagations + 1;
     (* Intra-dimension D1/D2 closure. *)
     let rec dims_prop k =
       if k >= d then Ok ()
-      else if t.rules.implications then
-        match OG.propagate t.dims.(k) with
+      else if t.rules.implications then begin
+        let t0 = clock () in
+        let r = OG.propagate t.dims.(k) in
+        c.implication_calls <- c.implication_calls + 1;
+        c.implication_time <- c.implication_time +. (clock () -. t0);
+        match r with
         | Ok () -> dims_prop (k + 1)
-        | Error c -> fail_of c k
+        | Error conflict -> fail_of conflict k
+      end
       else Ok ()
     in
     let* () = dims_prop 0 in
-    (* Cross-dimension rules on everything that changed. *)
+    (* Cross-dimension rules on everything that changed since the last
+       round: sync the derived structures over the window, then run the
+       rules pair by pair straight off the trail (no Hashtbl, no list). *)
     let changed = ref false in
     let rec cross k =
       if k >= d then Ok ()
@@ -315,35 +466,16 @@ let stabilize t =
         let now = OG.mark t.dims.(k) in
         if now > since then begin
           changed := true;
+          sync_window t k ~since ~until:now;
           t.processed.(k) <- now;
-          let pairs = OG.changed_pairs t.dims.(k) ~since in
-          let n = Instance.count t.inst in
-          let time_axis = Instance.time_axis t.inst in
-          let rec handle = function
-            | [] -> cross (k + 1)
-            | (u, v) :: rest -> (
-              match OG.kind t.dims.(k) u v with
-              | OG.Component ->
-                let* () = rule_c3 t u v in
-                let* () = rule_component_clique t k u v in
-                let* () = rule_c4_edge t k u v in
-                handle rest
-              | OG.Comparable ->
-                let* () = rule_c2 t k u v in
-                let* () = rule_c4_diagonal t k u v in
-                (* Symmetry breaking: interchangeable tasks that end up
-                   time-comparable always run in index order. *)
-                let* () =
-                  if k = time_axis && u < v && t.symmetric.((u * n) + v) then
-                    match OG.force_arc t.dims.(k) u v with
-                    | Ok () -> Ok ()
-                    | Error c -> fail_of c k
-                  else Ok ()
-                in
-                handle rest
-              | OG.Unknown -> handle rest)
-          in
-          handle pairs
+          match
+            OG.iter_changed_pairs t.dims.(k) ~since (fun u v ->
+                match handle_pair t k u v with
+                | Ok () -> ()
+                | Error reason -> raise (Rule_conflict reason))
+          with
+          | () -> cross (k + 1)
+          | exception Rule_conflict reason -> Error reason
         end
         else cross (k + 1)
       end
@@ -362,14 +494,80 @@ let create ?(rules = default_rules) ?schedule inst cont =
   if Container.dim cont <> d then
     invalid_arg "Packing_state.create: dimension mismatch";
   let n = Instance.count inst in
+  let words = max 1 ((n + 62) / 63) in
+  let ext =
+    Array.init d (fun k -> Array.init n (fun i -> Instance.extent inst i k))
+  in
+  let cross_w =
+    Array.init d (fun k ->
+        Array.init n (fun i ->
+            let w = ref 1 in
+            for j = 0 to d - 1 do
+              if j <> k then w := !w * ext.(j).(i)
+            done;
+            !w))
+  in
+  let cap = Array.init d (fun k -> Container.extent cont k) in
+  let cross_cap =
+    Array.init d (fun k ->
+        let c = ref 1 in
+        for j = 0 to d - 1 do
+          if j <> k then c := !c * cap.(j)
+        done;
+        !c)
+  in
+  let score_order =
+    Array.init d (fun k ->
+        let pairs = ref [] in
+        for u = n - 1 downto 0 do
+          for v = n - 1 downto u + 1 do
+            pairs := ((u * n) + v) :: !pairs
+          done
+        done;
+        let order = Array.of_list !pairs in
+        (* Largest combined extent first; ties keep lexicographic pair
+           order, matching the historical scan over [unknown_pairs]. *)
+        Array.sort
+          (fun a b ->
+            let sa = ext.(k).(a / n) + ext.(k).(a mod n)
+            and sb = ext.(k).(b / n) + ext.(k).(b mod n) in
+            if sa <> sb then compare sb sa else compare a b)
+          order;
+        order)
+  in
   let t =
     {
       inst;
       cont;
+      n;
+      words;
       dims = Array.init d (fun _ -> OG.create n);
       processed = Array.make d 0;
       rules;
       symmetric = symmetric_pairs inst;
+      ext;
+      cross_w;
+      cap;
+      capf = Array.map float_of_int cap;
+      cross_cap;
+      score_order;
+      comp_adj = Array.init d (fun _ -> Array.make (n * words) 0);
+      ovl_adj = Array.init d (fun _ -> Array.make (n * words) 0);
+      comp_deg = Array.init d (fun _ -> Array.make n 0);
+      comp_dims = Array.make (n * n) 0;
+      decided_slots = 0;
+      total_slots = d * (n * (n - 1) / 2);
+      stats =
+        {
+          c2_calls = 0;
+          c2_time = 0.0;
+          c4_calls = 0;
+          c4_time = 0.0;
+          capacity_calls = 0;
+          capacity_time = 0.0;
+          implication_calls = 0;
+          implication_time = 0.0;
+        };
       propagations = 0;
     }
   in
@@ -381,10 +579,7 @@ let create ?(rules = default_rules) ?schedule inst cont =
     else if k >= d then width_pairs u (v + 1) 0
     else begin
       let* () =
-        if
-          Instance.extent inst u k + Instance.extent inst v k
-          > Container.extent cont k
-        then
+        if ext.(k).(u) + ext.(k).(v) > cap.(k) then
           match OG.set_component t.dims.(k) u v with
           | Ok () -> Ok ()
           | Error c -> fail_of c k
@@ -464,33 +659,42 @@ let choose_unknown t =
         fully decided the problem collapses to 2D (the paper's FixedS
         observation).
      3. Within a dimension, the pair with the largest combined extent
-        relative to the container — the most constrained decision. *)
+        relative to the container — the most constrained decision.
+
+     The per-dimension priority order is static (extents never change),
+     so picking a pair is a scan down [score_order]: the first pair
+     still unknown (and pressured, on the first pass) is the in-class
+     maximum. The pressure flags live in [comp_dims], maintained
+     incrementally from the trail — no per-node rescan of all pairs. *)
   let d = Array.length t.dims in
-  let has_comparable u v =
-    let rec go k =
-      k < d && (OG.kind t.dims.(k) u v = OG.Comparable || go (k + 1))
-    in
-    go 0
-  in
+  let n = t.n in
   let pick ~pressured_only =
     let best = ref None in
     let best_score = ref (-1.0) in
     let consider k =
-      let cap = float_of_int (Container.extent t.cont k) in
-      List.iter
-        (fun (u, v) ->
-          if (not pressured_only) || not (has_comparable u v) then begin
+      let order = t.score_order.(k) in
+      let og = t.dims.(k) in
+      let len = Array.length order in
+      let rec scan i =
+        if i < len then begin
+          let idx = order.(i) in
+          let u = idx / n and v = idx mod n in
+          if
+            OG.kind og u v = OG.Unknown
+            && ((not pressured_only) || t.comp_dims.(idx) = 0)
+          then begin
             let score =
-              float_of_int
-                (Instance.extent t.inst u k + Instance.extent t.inst v k)
-              /. cap
+              float_of_int (t.ext.(k).(u) + t.ext.(k).(v)) /. t.capf.(k)
             in
             if score > !best_score then begin
               best_score := score;
               best := Some (k, u, v)
             end
-          end)
-        (OG.unknown_pairs t.dims.(k))
+          end
+          else scan (i + 1)
+        end
+      in
+      scan 0
     in
     (* Time strictly first: its decisions feed the precedence
        implications and the tight C2 chains, which is where conflicts

@@ -89,3 +89,21 @@ val choose_unknown : t -> (int * int * int) option
 
 (** Propagation statistics since creation. *)
 val propagations : t -> int
+
+(** Fraction of (pair, dimension) slots already decided (component,
+    comparable, or oriented), in [0, 1]. Maintained incrementally from
+    the trail; O(1). Drives the solver's adaptive realization
+    throttle. *)
+val decided_fraction : t -> float
+
+(** Total trail length summed over dimensions — a monotone (within one
+    branch) measure of how much state changed since any earlier point;
+    O(dimensions). The solver's throttle uses deltas of this to decide
+    whether enough has happened to justify another realization
+    attempt. *)
+val total_trail : t -> int
+
+(** Per-rule call/time counters accumulated since {!create} (the
+    [realize_*] fields are zero here — realization is counted by the
+    solver). *)
+val rule_counters : t -> Telemetry.rule_counters

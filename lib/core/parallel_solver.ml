@@ -318,14 +318,20 @@ let report_to_json r =
     | Opp_solver.Timeout -> "timeout"
   in
   let worker w =
-    Printf.sprintf
-      "{\"worker\":%d,\"arm\":\"%s\",\"solved\":%d,\"stats\":%s}" w.worker
-      w.arm w.solved
-      (Opp_solver.stats_to_json w.stats)
+    Telemetry.Obj
+      [
+        ("worker", Telemetry.Int w.worker);
+        ("arm", Telemetry.String w.arm);
+        ("solved", Telemetry.Int w.solved);
+        ("stats", Opp_solver.stats_json w.stats);
+      ]
   in
-  Printf.sprintf
-    "{\"outcome\":\"%s\",\"jobs\":%d,\"subproblems\":%d,\"stats\":%s,\
-     \"workers\":[%s]}"
-    outcome r.jobs r.subproblems
-    (Opp_solver.stats_to_json r.stats)
-    (String.concat "," (List.map worker r.workers))
+  Telemetry.to_string
+    (Telemetry.Obj
+       [
+         ("outcome", Telemetry.String outcome);
+         ("jobs", Telemetry.Int r.jobs);
+         ("subproblems", Telemetry.Int r.subproblems);
+         ("stats", Opp_solver.stats_json r.stats);
+         ("workers", Telemetry.List (List.map worker r.workers));
+       ])

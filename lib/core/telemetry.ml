@@ -1,0 +1,126 @@
+type rule_counters = {
+  c2_calls : int;
+  c2_time_s : float;
+  c4_calls : int;
+  c4_time_s : float;
+  capacity_calls : int;
+  capacity_time_s : float;
+  implication_calls : int;
+  implication_time_s : float;
+  realize_attempts : int;
+  realize_time_s : float;
+}
+
+let zero_rules =
+  {
+    c2_calls = 0;
+    c2_time_s = 0.0;
+    c4_calls = 0;
+    c4_time_s = 0.0;
+    capacity_calls = 0;
+    capacity_time_s = 0.0;
+    implication_calls = 0;
+    implication_time_s = 0.0;
+    realize_attempts = 0;
+    realize_time_s = 0.0;
+  }
+
+let add_rules a b =
+  {
+    c2_calls = a.c2_calls + b.c2_calls;
+    c2_time_s = a.c2_time_s +. b.c2_time_s;
+    c4_calls = a.c4_calls + b.c4_calls;
+    c4_time_s = a.c4_time_s +. b.c4_time_s;
+    capacity_calls = a.capacity_calls + b.capacity_calls;
+    capacity_time_s = a.capacity_time_s +. b.capacity_time_s;
+    implication_calls = a.implication_calls + b.implication_calls;
+    implication_time_s = a.implication_time_s +. b.implication_time_s;
+    realize_attempts = a.realize_attempts + b.realize_attempts;
+    realize_time_s = a.realize_time_s +. b.realize_time_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Raw of string (* preformatted literal, e.g. a fixed-precision number *)
+  | List of json list
+  | Obj of (string * json) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Raw s -> Buffer.add_string buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        render buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        render buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  render buf j;
+  Buffer.contents buf
+
+(* Seconds with microsecond precision, matching the historical
+   "%.6f"-formatted elapsed fields. *)
+let seconds s = Raw (Printf.sprintf "%.6f" s)
+
+let rules_to_json r =
+  Obj
+    [
+      ("c2_calls", Int r.c2_calls);
+      ("c2_time_s", seconds r.c2_time_s);
+      ("c4_calls", Int r.c4_calls);
+      ("c4_time_s", seconds r.c4_time_s);
+      ("capacity_calls", Int r.capacity_calls);
+      ("capacity_time_s", seconds r.capacity_time_s);
+      ("implication_calls", Int r.implication_calls);
+      ("implication_time_s", seconds r.implication_time_s);
+      ("realize_attempts", Int r.realize_attempts);
+      ("realize_time_s", seconds r.realize_time_s);
+    ]

@@ -1,0 +1,48 @@
+(** Shared solver telemetry: per-rule time/call counters and the one
+    JSON emitter used by every [--stats json] surface.
+
+    {!Opp_solver} and {!Parallel_solver} both render their reports
+    through {!to_string} so the two outputs cannot drift apart, and
+    both carry a {!rule_counters} record measuring where propagation
+    time actually goes (C2 chain cliques, C1/C4 cycle rules, the Helly
+    capacity rule, D1/D2 implication closure, and the opportunistic
+    per-node realization attempts). *)
+
+(** Cumulative per-rule call counts and wall-clock time. Counters add
+    pointwise ({!add_rules}); a parallel solve reports the sum over
+    workers. *)
+type rule_counters = {
+  c2_calls : int;
+  c2_time_s : float;
+  c4_calls : int;
+  c4_time_s : float;
+  capacity_calls : int;
+  capacity_time_s : float;
+  implication_calls : int;
+  implication_time_s : float;
+  realize_attempts : int;
+  realize_time_s : float;
+}
+
+val zero_rules : rule_counters
+val add_rules : rule_counters -> rule_counters -> rule_counters
+
+(** Minimal JSON document model — enough for stats reports, with exact
+    control over number formatting (hand-rolled emitters used
+    [%.6f] for seconds; {!seconds} preserves that). *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Raw of string  (** preformatted literal, emitted verbatim *)
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+
+(** Seconds rendered as a fixed-precision (6 decimal places) number. *)
+val seconds : float -> json
+
+val rules_to_json : rule_counters -> json

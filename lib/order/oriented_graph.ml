@@ -8,7 +8,20 @@ module D = Graphlib.Digraph
 type t = {
   n : int;
   state : int array; (* indexed by u * n + v, u < v *)
-  trail : (int * int) Stack.t; (* (pair index, previous state) *)
+  (* The trail is three parallel growable arrays instead of a Stack:
+     [mark]/[undo_to] index it directly, and windowed iteration over
+     [since, len) neither allocates nor walks entries outside the
+     window. Each entry records the pair index, the state it had before
+     the write, and the state written. *)
+  mutable tr_idx : int array;
+  mutable tr_prev : int array;
+  mutable tr_new : int array;
+  mutable tr_len : int;
+  (* Stamp-based scratch for deduplicating pairs inside one window scan
+     without allocating a set: seen.(idx) = stamp marks idx as already
+     reported during the scan numbered [stamp]. *)
+  seen : int array;
+  mutable stamp : int;
   queue : int Queue.t; (* pair indices pending a propagation scan *)
 }
 
@@ -21,7 +34,18 @@ type conflict = {
 
 let create n =
   if n < 0 then invalid_arg "Oriented_graph.create: negative order";
-  { n; state = Array.make (n * n) 0; trail = Stack.create (); queue = Queue.create () }
+  let cap = max 16 (n * 4) in
+  {
+    n;
+    state = Array.make (n * n) 0;
+    tr_idx = Array.make cap 0;
+    tr_prev = Array.make cap 0;
+    tr_new = Array.make cap 0;
+    tr_len = 0;
+    seen = Array.make (n * n) 0;
+    stamp = 0;
+    queue = Queue.create ();
+  }
 
 let order t = t.n
 
@@ -48,38 +72,62 @@ let oriented t u v =
   let s = raw t u v in
   s = 3 || s = 4
 
-let mark t = Stack.length t.trail
+let mark t = t.tr_len
 
 let undo_to t m =
-  if m > Stack.length t.trail then invalid_arg "Oriented_graph.undo_to: bad mark";
-  while Stack.length t.trail > m do
-    let idx, prev = Stack.pop t.trail in
-    t.state.(idx) <- prev
+  if m > t.tr_len then invalid_arg "Oriented_graph.undo_to: bad mark";
+  for p = t.tr_len - 1 downto m do
+    t.state.(t.tr_idx.(p)) <- t.tr_prev.(p)
   done;
+  t.tr_len <- m;
   Queue.clear t.queue
 
+let iter_changed_pairs t ~since f =
+  if since > t.tr_len then
+    invalid_arg "Oriented_graph.iter_changed_pairs: bad mark";
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  (* The window length is captured up front: entries pushed by [f]
+     belong to the next window, exactly as with the snapshot list the
+     old [changed_pairs] returned. *)
+  let limit = t.tr_len in
+  for p = since to limit - 1 do
+    let idx = t.tr_idx.(p) in
+    if t.seen.(idx) <> stamp then begin
+      t.seen.(idx) <- stamp;
+      f (idx / t.n) (idx mod t.n)
+    end
+  done
+
 let changed_pairs t ~since =
-  if since > Stack.length t.trail then
-    invalid_arg "Oriented_graph.changed_pairs: bad mark";
-  let seen = Hashtbl.create 16 in
   let acc = ref [] in
-  let depth = ref 0 in
-  let limit = Stack.length t.trail - since in
-  Stack.iter
-    (fun (idx, _) ->
-      if !depth < limit then begin
-        incr depth;
-        if not (Hashtbl.mem seen idx) then begin
-          Hashtbl.add seen idx ();
-          acc := unpack t idx :: !acc
-        end
-      end)
-    t.trail;
+  iter_changed_pairs t ~since (fun u v -> acc := (u, v) :: !acc);
   List.rev !acc
+
+let iter_trail_window ?until t ~since f =
+  let limit = match until with None -> t.tr_len | Some u -> u in
+  if since > t.tr_len || limit > t.tr_len then
+    invalid_arg "Oriented_graph.iter_trail_window: bad mark";
+  for p = since to limit - 1 do
+    let idx = t.tr_idx.(p) in
+    f (idx / t.n) (idx mod t.n) ~prev:t.tr_prev.(p) ~cur:t.tr_new.(p)
+  done
+
+let grow t =
+  let cap = Array.length t.tr_idx in
+  let cap' = (cap * 2) + 1 in
+  let extend a = Array.append a (Array.make (cap' - cap) 0) in
+  t.tr_idx <- extend t.tr_idx;
+  t.tr_prev <- extend t.tr_prev;
+  t.tr_new <- extend t.tr_new
 
 let write t idx value =
   if t.state.(idx) <> value then begin
-    Stack.push (idx, t.state.(idx)) t.trail;
+    if t.tr_len >= Array.length t.tr_idx then grow t;
+    t.tr_idx.(t.tr_len) <- idx;
+    t.tr_prev.(t.tr_len) <- t.state.(idx);
+    t.tr_new.(t.tr_len) <- value;
+    t.tr_len <- t.tr_len + 1;
     t.state.(idx) <- value;
     Queue.add idx t.queue
   end

@@ -65,9 +65,35 @@ val mark : t -> int
     propagation queue. *)
 val undo_to : t -> int -> unit
 
+(** [iter_changed_pairs t ~since f] calls [f u v] once per distinct
+    pair whose state changed after mark [since], in trail (oldest
+    first) order. Allocation-free: the iteration touches only the
+    [mark t - since] trail entries of the window and deduplicates with
+    a stamp array. The window is captured on entry, so state changes
+    made by [f] itself are not re-visited (they belong to the next
+    window). *)
+val iter_changed_pairs : t -> since:int -> (int -> int -> unit) -> unit
+
 (** [changed_pairs t ~since] lists the distinct pairs whose state
-    changed after mark [since] (most recent first). *)
+    changed after mark [since] (oldest first). Thin wrapper over
+    {!iter_changed_pairs}; prefer the iterator on hot paths. *)
 val changed_pairs : t -> since:int -> (int * int) list
+
+(** [iter_trail_window ?until t ~since f] replays the raw trail entries
+    of the window [\[since, until)] (default [until = mark t]) in
+    order: [f u v ~prev ~cur] receives the packed state before and
+    after each write. Unlike {!iter_changed_pairs} this does {e not}
+    deduplicate — a pair that changed twice appears twice. Used by
+    callers mirroring the edge states into derived structures (degree
+    counts, adjacency bitsets) that must be updated transition by
+    transition; [until] lets an undo path revert exactly the prefix it
+    had previously applied. *)
+val iter_trail_window :
+  ?until:int ->
+  t ->
+  since:int ->
+  (int -> int -> prev:int -> cur:int -> unit) ->
+  unit
 
 (** [set_component t u v] fixes [{u,v}] as a component edge. Fails if
     the pair is already comparable. Queues implications. *)
