@@ -28,8 +28,10 @@ let table1 () =
     (fun (t_max, expected) ->
       let result, dt = wall (fun () -> Packing.Problems.minimize_base de ~t_max) in
       match result with
-      | None -> Format.printf "  %3d  impossible@." t_max
-      | Some { Packing.Problems.value; _ } ->
+      | Packing.Problems.Infeasible
+      | Packing.Problems.Feasible_incumbent _
+      | Packing.Problems.Unknown _ -> Format.printf "  %3d  impossible@." t_max
+      | Packing.Problems.Optimal { value; _ } ->
         Format.printf "  %3d  %dx%-10d %dx%-12d %.3f s%s@." t_max value value
           expected expected dt
           (if value = expected then "" else "   MISMATCH"))
@@ -47,20 +49,20 @@ let table2 () =
     wall (fun () -> Packing.Problems.minimize_base codec ~t_max:t_exp)
   in
   (match result with
-  | None -> Format.printf "  impossible?!@."
-  | Some { Packing.Problems.value; _ } ->
+  | Packing.Problems.Optimal { value; _ } ->
     Format.printf "  T = %d: chip %dx%d (paper %dx%d), CPU-time %.3f s%s@."
       t_exp value value h_exp h_exp dt
-      (if value = h_exp then "" else "   MISMATCH"));
+      (if value = h_exp then "" else "   MISMATCH")
+  | _ -> Format.printf "  impossible?!@.");
   (* The paper also reports that T = 59 is the smallest feasible latency
      and that no chip below 64x64 works at all. *)
   let spp, dt2 =
     wall (fun () -> Packing.Problems.minimize_time codec ~w:64 ~h:64)
   in
   (match spp with
-  | Some { Packing.Problems.value; _ } ->
+  | Packing.Problems.Optimal { value; _ } ->
     Format.printf "  SPP on 64x64: T = %d (paper %d), %.3f s@." value t_exp dt2
-  | None -> Format.printf "  SPP on 64x64: impossible?!@.");
+  | _ -> Format.printf "  SPP on 64x64: impossible?!@.");
   let infeasible_63, dt3 =
     wall (fun () ->
         match
@@ -84,7 +86,9 @@ let fig7 () =
       wall (fun () -> Packing.Problems.pareto_front inst ~h_min:16 ~h_max:48)
     in
     Format.printf "  %s (%.3f s):@." label dt;
-    List.iter (fun (h, t) -> Format.printf "    %2dx%-2d -> %2d cycles@." h h t) front
+    List.iter
+      (fun (h, t) -> Format.printf "    %2dx%-2d -> %2d cycles@." h h t)
+      front.Packing.Problems.points
   in
   show "with precedence (solid)" Benchmarks.De.instance;
   show "without precedence (dashed)" Benchmarks.De.instance_without_precedence
@@ -203,15 +207,14 @@ let ablation_stages () =
     List.iter
       (fun (t_max, _) ->
         let result, dt =
-          wall (fun () ->
-              try `Res (Packing.Problems.minimize_base ~options de ~t_max)
-              with Failure _ -> `Gave_up)
+          wall (fun () -> Packing.Problems.minimize_base ~options de ~t_max)
         in
         match result with
-        | `Res (Some { Packing.Problems.value; _ }) ->
+        | Packing.Problems.Optimal { value; _ } ->
           Format.printf "  %2d (%0.2fs)" value dt
-        | `Res None -> Format.printf "  -- (%0.2fs)" dt
-        | `Gave_up -> Format.printf "  ?? (%0.2fs)" dt)
+        | Packing.Problems.Infeasible -> Format.printf "  -- (%0.2fs)" dt
+        | Packing.Problems.Feasible_incumbent _ | Packing.Problems.Unknown _ ->
+          Format.printf "  ?? (%0.2fs)" dt)
       Benchmarks.De.table1;
     Format.printf "@."
   in
@@ -237,8 +240,8 @@ let rect () =
       let square = Packing.Problems.minimize_base de ~t_max in
       let rect = Packing.Problems.minimize_area_rect de ~t_max in
       match (square, rect) with
-      | Some { Packing.Problems.value = s; _ }, Some { Packing.Problems.value = w, h; _ }
-        ->
+      | ( Packing.Problems.Optimal { value = s; _ },
+          Packing.Problems.Optimal { value = w, h; _ } ) ->
         Format.printf "  %3d   %dx%-8d %5d   %dx%-12d %5d@." t_max s s (s * s)
           w h (w * h)
       | _ -> Format.printf "  %3d   impossible@." t_max)
@@ -256,12 +259,12 @@ let scaling () =
       wall (fun () -> Packing.Problems.minimize_time inst ~w:32 ~h:32)
     in
     (match result with
-    | Some { Packing.Problems.value; _ } ->
+    | Packing.Problems.Optimal { value; _ } ->
       Format.printf "  %-16s %5d   T = %-12d %8.3f s@."
         (Packing.Instance.name inst)
         (Packing.Instance.count inst)
         value dt
-    | None ->
+    | _ ->
       Format.printf "  %-16s %5d   misfit@."
         (Packing.Instance.name inst)
         (Packing.Instance.count inst))
@@ -290,8 +293,8 @@ let online () =
   let chip = Fpga.Chip.square 32 in
   let optimum =
     match Packing.Problems.minimize_time de ~w:32 ~h:32 with
-    | Some { Packing.Problems.value; _ } -> value
-    | None -> -1
+    | Packing.Problems.Optimal { value; _ } -> value
+    | _ -> -1
   in
   Format.printf "  compile-time optimum: %d cycles@." optimum;
   Format.printf "  arrival pattern        makespan   compactions@.";

@@ -185,55 +185,140 @@ let solve_cmd =
     Term.(const run $ file_arg $ chip_opt $ time_opt $ render_flag $ quiet_flag
           $ svg_opt $ jobs_opt $ time_limit_opt $ stats_opt $ realize_opt)
 
+(* Collect the probe trace for --stats json; the returned callback is
+   handed to the Problems driver as [on_probe]. *)
+let probe_collector () =
+  let acc = ref [] in
+  let on_probe p = acc := p :: !acc in
+  ((fun () -> List.rev !acc), on_probe)
+
+(* One-line JSON for an anytime minimization: status, value/bounds, and
+   the per-probe trace. *)
+let anytime_stats_json ~problem ~value_json result probes =
+  let open Packing.Telemetry in
+  let fields =
+    match result with
+    | Packing.Problems.Optimal { value; _ } -> [ ("value", value_json value) ]
+    | Packing.Problems.Feasible_incumbent
+        { incumbent = { value; _ }; lower_bound; gap } ->
+      [
+        ("value", value_json value);
+        ("lower_bound", Int lower_bound);
+        ("gap", Int gap);
+      ]
+    | Packing.Problems.Infeasible -> []
+    | Packing.Problems.Unknown { lower_bound } ->
+      [ ("lower_bound", Int lower_bound) ]
+  in
+  to_string
+    (Obj
+       ([
+          ("problem", String problem);
+          ("status", String (Packing.Problems.status_string result));
+        ]
+       @ fields
+       @ [ ("probes", List (List.map Packing.Problems.probe_json probes)) ]))
+
 let min_time_cmd =
-  let run file chip render quiet =
+  let run file chip render quiet jobs time_limit stats realize =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
       match resolve_chip io chip with
       | Error msg -> err msg
-      | Ok chip -> (
+      | Ok chip ->
         let inst = io.Fpga.Instance_io.instance in
-        match
-          Packing.Problems.minimize_time inst ~w:(Fpga.Chip.width chip)
-            ~h:(Fpga.Chip.height chip)
-        with
-        | None ->
-          Format.printf "no makespan works: a task overflows the chip@.";
-          2
-        | Some { Packing.Problems.value; placement } ->
+        let options = options_with_deadline time_limit realize in
+        let probes, on_probe = probe_collector () in
+        let result =
+          Packing.Problems.minimize_time ~options ~jobs ~on_probe inst
+            ~w:(Fpga.Chip.width chip) ~h:(Fpga.Chip.height chip)
+        in
+        (match stats with
+        | Some `Json ->
+          Format.printf "%s@."
+            (anytime_stats_json ~problem:"min-time"
+               ~value_json:(fun v -> Packing.Telemetry.Int v)
+               result (probes ()))
+        | None -> ());
+        (match result with
+        | Packing.Problems.Optimal { value; placement } ->
           Format.printf "minimal makespan on %a: %d cycles@." Fpga.Chip.pp chip
             value;
           show_placement ~quiet ~render inst chip value placement;
-          0))
+          0
+        | Packing.Problems.Feasible_incumbent
+            { incumbent = { value; placement }; lower_bound; gap } ->
+          Format.printf
+            "budget exhausted: best makespan found on %a: %d cycles (proven \
+             lower bound %d, gap %d)@."
+            Fpga.Chip.pp chip value lower_bound gap;
+          show_placement ~quiet ~render inst chip value placement;
+          3
+        | Packing.Problems.Infeasible ->
+          Format.printf "no makespan works: a task overflows the chip@.";
+          2
+        | Packing.Problems.Unknown { lower_bound } ->
+          Format.printf
+            "budget exhausted before any schedule was found (makespan >= %d)@."
+            lower_bound;
+          3))
   in
   let doc = "Minimize the makespan on a fixed chip (MinT&FindS / SPP)." in
   Cmd.v (Cmd.info "min-time" ~doc)
-    Term.(const run $ file_arg $ chip_opt $ render_flag $ quiet_flag)
+    Term.(const run $ file_arg $ chip_opt $ render_flag $ quiet_flag $ jobs_opt
+          $ time_limit_opt $ stats_opt $ realize_opt)
 
 let min_area_cmd =
-  let run file time render quiet =
+  let run file time render quiet jobs time_limit stats realize =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
       match resolve_time io time with
       | Error msg -> err msg
-      | Ok t_max -> (
+      | Ok t_max ->
         let inst = io.Fpga.Instance_io.instance in
-        match Packing.Problems.minimize_base inst ~t_max with
-        | None ->
-          Format.printf
-            "no chip works: the critical path exceeds %d cycles@." t_max;
-          2
-        | Some { Packing.Problems.value; placement } ->
+        let options = options_with_deadline time_limit realize in
+        let probes, on_probe = probe_collector () in
+        let result =
+          Packing.Problems.minimize_base ~options ~jobs ~on_probe inst ~t_max
+        in
+        (match stats with
+        | Some `Json ->
+          Format.printf "%s@."
+            (anytime_stats_json ~problem:"min-area"
+               ~value_json:(fun v -> Packing.Telemetry.Int v)
+               result (probes ()))
+        | None -> ());
+        (match result with
+        | Packing.Problems.Optimal { value; placement } ->
           Format.printf "minimal chip for %d cycles: %dx%d@." t_max value value;
           show_placement ~quiet ~render inst (Fpga.Chip.square value) t_max
             placement;
-          0))
+          0
+        | Packing.Problems.Feasible_incumbent
+            { incumbent = { value; placement }; lower_bound; gap } ->
+          Format.printf
+            "budget exhausted: best chip found for %d cycles: %dx%d (proven \
+             lower bound %d, gap %d)@."
+            t_max value value lower_bound gap;
+          show_placement ~quiet ~render inst (Fpga.Chip.square value) t_max
+            placement;
+          3
+        | Packing.Problems.Infeasible ->
+          Format.printf
+            "no chip works: the critical path exceeds %d cycles@." t_max;
+          2
+        | Packing.Problems.Unknown { lower_bound } ->
+          Format.printf
+            "budget exhausted before any chip was found (side >= %d)@."
+            lower_bound;
+          3))
   in
   let doc = "Minimize a quadratic chip for a time budget (MinA&FindS / BMP)." in
   Cmd.v (Cmd.info "min-area" ~doc)
-    Term.(const run $ file_arg $ time_opt $ render_flag $ quiet_flag)
+    Term.(const run $ file_arg $ time_opt $ render_flag $ quiet_flag $ jobs_opt
+          $ time_limit_opt $ stats_opt $ realize_opt)
 
 let pareto_cmd =
   let h_min_arg =
@@ -248,7 +333,7 @@ let pareto_cmd =
          & info [ "no-precedence" ]
              ~doc:"Drop the precedence constraints (dashed curve of Fig. 7).")
   in
-  let run file h_min h_max no_prec =
+  let run file h_min h_max no_prec quiet jobs time_limit stats =
     match read_instance file with
     | Error msg -> err msg
     | Ok io ->
@@ -256,14 +341,43 @@ let pareto_cmd =
       let inst =
         if no_prec then Packing.Instance.without_precedence inst else inst
       in
-      let front = Packing.Problems.pareto_front inst ~h_min ~h_max in
-      Format.printf "chip  makespan@.";
-      List.iter (fun (h, t) -> Format.printf "%dx%d  %d@." h h t) front;
-      0
+      let options = options_with_deadline time_limit `Adaptive in
+      let probes, on_probe = probe_collector () in
+      let { Packing.Problems.points; complete } =
+        Packing.Problems.pareto_front ~options ~jobs ~on_probe inst ~h_min
+          ~h_max
+      in
+      (match stats with
+      | Some `Json ->
+        let open Packing.Telemetry in
+        Format.printf "%s@."
+          (to_string
+             (Obj
+                [
+                  ("problem", String "pareto");
+                  ("complete", Bool complete);
+                  ( "points",
+                    List
+                      (List.map
+                         (fun (h, t) -> List [ Int h; Int t ])
+                         points) );
+                  ( "probes",
+                    List (List.map Packing.Problems.probe_json (probes ())) );
+                ]))
+      | None -> ());
+      if not quiet then Format.printf "chip  makespan@.";
+      List.iter (fun (h, t) -> Format.printf "%dx%d  %d@." h h t) points;
+      if complete then 0
+      else begin
+        Format.printf
+          "(budget exhausted: the front may be missing or overstating points)@.";
+        3
+      end
   in
   let doc = "Compute the chip-size/makespan Pareto front (paper Fig. 7)." in
   Cmd.v (Cmd.info "pareto" ~doc)
-    Term.(const run $ file_arg $ h_min_arg $ h_max_arg $ no_prec)
+    Term.(const run $ file_arg $ h_min_arg $ h_max_arg $ no_prec $ quiet_flag
+          $ jobs_opt $ time_limit_opt $ stats_opt)
 
 let simulate_cmd =
   let run file chip time =
@@ -345,15 +459,18 @@ let check_cmd =
                   ~w:(Fpga.Chip.width chip) ~h:(Fpga.Chip.height chip) ~t_max
                   ~schedule
               with
-              | Some p ->
+              | Packing.Problems.Sat p ->
                 Format.printf "schedule is realizable@.";
                 show_placement ~quiet ~render inst chip t_max p;
                 0
-              | None ->
+              | Packing.Problems.Unsat ->
                 Format.printf "schedule is NOT realizable on %a within %d \
                                cycles@."
                   Fpga.Chip.pp chip t_max;
-                2)))))
+                2
+              | Packing.Problems.Undecided ->
+                Format.printf "budget exhausted: schedule undecided@.";
+                3)))))
   in
   let doc =
     "Check a schedule file against a chip (FeasA&FixedS); `place` lines are \

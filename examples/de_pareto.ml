@@ -13,17 +13,19 @@ let () =
   List.iter
     (fun (t_max, expected) ->
       match Packing.Problems.minimize_base de ~t_max with
-      | None -> Format.printf "  %-4d impossible@." t_max
-      | Some { Packing.Problems.value; _ } ->
+      | Packing.Problems.Optimal { value; _ } ->
         Format.printf "  %-4d %dx%-5d %dx%d@." t_max value value expected
-          expected)
+          expected
+      | _ -> Format.printf "  %-4d impossible@." t_max)
     Benchmarks.De.table1;
 
   (* Fig. 7: Pareto-optimal (chip, time) points. *)
   let show_front label inst =
     let front = Packing.Problems.pareto_front inst ~h_min:16 ~h_max:48 in
     Format.printf "@.%s:@." label;
-    List.iter (fun (h, t) -> Format.printf "  %2dx%-2d -> %d cycles@." h h t) front
+    List.iter
+      (fun (h, t) -> Format.printf "  %2dx%-2d -> %d cycles@." h h t)
+      front.Packing.Problems.points
   in
   show_front "Pareto front with precedence (Fig. 7, solid)" de;
   show_front "Pareto front without precedence (Fig. 7, dashed)"
@@ -31,7 +33,9 @@ let () =
 
   (* Show one optimal schedule at the sweet spot. *)
   match Packing.Problems.minimize_time de ~w:32 ~h:32 with
-  | None -> ()
-  | Some { Packing.Problems.value; placement } ->
+  | Packing.Problems.Infeasible
+  | Packing.Problems.Feasible_incumbent _
+  | Packing.Problems.Unknown _ -> ()
+  | Packing.Problems.Optimal { value; placement } ->
     Format.printf "@.An optimal %d-cycle schedule on 32x32:@.%s@." value
       (Geometry.Render.gantt placement)

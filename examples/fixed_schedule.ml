@@ -22,19 +22,19 @@ let () =
   Format.printf "@.";
   let t_max = 14 in
   (match Packing.Problems.minimize_base_fixed_schedule de ~t_max ~schedule:asap with
-  | None -> Format.printf "ASAP schedule unrealizable?@."
-  | Some { Packing.Problems.value; placement } ->
+  | Packing.Problems.Optimal { value; placement } ->
     Format.printf "smallest chip realizing the ASAP schedule: %dx%d@." value value;
-    Format.printf "%s@." (Geometry.Render.gantt placement));
+    Format.printf "%s@." (Geometry.Render.gantt placement)
+  | _ -> Format.printf "ASAP schedule unrealizable?@.");
 
   (* The jointly optimized schedule from the BMP needs only 16x16 at
      T = 14 — scheduling and placement interact. *)
   (match Packing.Problems.minimize_base de ~t_max with
-  | None -> ()
-  | Some { Packing.Problems.value; _ } ->
+  | Packing.Problems.Optimal { value; _ } ->
     Format.printf
       "smallest chip when the schedule is optimized jointly: %dx%d@." value
-      value);
+      value
+  | _ -> ());
 
   (* FeasA&FixedS: check one explicit serialized schedule on the
      smallest possible chip. *)
@@ -45,7 +45,9 @@ let () =
     Packing.Problems.feasible_fixed_schedule de ~w:16 ~h:16 ~t_max:14
       ~schedule:serial
   with
-  | Some placement ->
+  | Packing.Problems.Sat placement ->
     Format.printf "@.hand-written serialized schedule fits 16x16:@.%s@."
       (Geometry.Render.gantt placement)
-  | None -> Format.printf "@.hand-written schedule does not fit 16x16@."
+  | Packing.Problems.Unsat ->
+    Format.printf "@.hand-written schedule does not fit 16x16@."
+  | Packing.Problems.Undecided -> Format.printf "@.budget exhausted@."

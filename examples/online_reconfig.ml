@@ -26,10 +26,10 @@ let () =
     (Fpga.Online.run de arrivals ~chip ~compaction:true ~move_delay:1);
 
   (match Packing.Problems.minimize_time de ~w:32 ~h:32 with
-  | Some { Packing.Problems.value; _ } ->
+  | Packing.Problems.Optimal { value; _ } ->
     Format.printf "%-24s makespan %2d (exact optimum)@." "compile-time (ours)"
       value
-  | None -> ());
+  | _ -> ());
 
   (* Staggered arrivals stress the manager: the heavy multipliers show
      up late. *)

@@ -24,8 +24,11 @@ let () =
   (* Minimize the makespan on a fixed 8x8 chip (the paper's MinT&FindS). *)
   let chip = Fpga.Chip.create ~w:8 ~h:8 in
   match Packing.Problems.minimize_time instance ~w:8 ~h:8 with
-  | None -> print_endline "some task does not fit the chip"
-  | Some { Packing.Problems.value = makespan; placement } ->
+  | Packing.Problems.Infeasible -> print_endline "some task does not fit the chip"
+  | Packing.Problems.Feasible_incumbent _ | Packing.Problems.Unknown _ ->
+    (* Unreachable without a node/time budget. *)
+    print_endline "budget exhausted"
+  | Packing.Problems.Optimal { value = makespan; placement } ->
     Format.printf "optimal makespan on %a: %d cycles@.@." Fpga.Chip.pp chip
       makespan;
     Format.printf "%s@." (Geometry.Render.gantt placement);

@@ -12,16 +12,18 @@ let () =
   (* Table 2: the BMP at the minimal latency. *)
   let h_expected, t_expected = Benchmarks.Video_codec.table2 in
   (match Packing.Problems.minimize_base codec ~t_max:t_expected with
-  | None -> Format.printf "BMP at T=%d: impossible?!@." t_expected
-  | Some { Packing.Problems.value; _ } ->
+  | Packing.Problems.Optimal { value; _ } ->
     Format.printf "Table 2 (BMP at T=%d): chip %dx%d (paper: %dx%d)@."
-      t_expected value value h_expected h_expected);
+      t_expected value value h_expected h_expected
+  | _ -> Format.printf "BMP at T=%d: impossible?!@." t_expected);
 
   (* No faster schedule exists, and no smaller chip works at any time
      budget: the block-matching module spans the whole chip. *)
   (match Packing.Problems.minimize_time codec ~w:64 ~h:64 with
-  | None -> ()
-  | Some { Packing.Problems.value; placement } ->
+  | Packing.Problems.Infeasible
+  | Packing.Problems.Feasible_incumbent _
+  | Packing.Problems.Unknown _ -> ()
+  | Packing.Problems.Optimal { value; placement } ->
     Format.printf "SPP on 64x64: %d cycles (paper: %d)@.@." value t_expected;
     Format.printf "%s@." (Geometry.Render.gantt placement);
     let report =

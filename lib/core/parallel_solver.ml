@@ -15,6 +15,7 @@ type worker_report = {
   worker : int;
   arm : string;
   solved : int;
+  arm_elapsed_s : (string * float) list;
   stats : Opp_solver.stats;
 }
 
@@ -236,12 +237,32 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
              branch order flipped: on instances where the default order
              commits early to a doomed subtree, this arm reaches a
              witness (or the contradiction) first. It is exact, so a
-             definitive answer cancels the split workers. *)
+             definitive answer cancels the split workers.
+
+             The arm races the queue and must not monopolize its domain
+             when it is losing: once a quarter of the subproblems have
+             been settled without a definitive answer while unclaimed
+             work remains, the re-search has lost its bet and the
+             domain is more useful draining the queue, so the arm
+             abandons (its Timeout is already ignored — the queue
+             verdicts decide). *)
+          let abandon () =
+            total > 0
+            && 4 * Atomic.get completed >= total
+            && Atomic.get next < total
+          in
           let popts =
             {
               subsearch_options with
               Opp_solver.component_first =
                 not options.Opp_solver.component_first;
+              interrupt =
+                Some
+                  (fun () ->
+                    (match subsearch_options.Opp_solver.interrupt with
+                    | Some f -> f ()
+                    | None -> false)
+                    || abandon ());
             }
           in
           match replay ~options ?schedule inst cont [] with
@@ -261,19 +282,32 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
         let worker wid =
           let stats_acc = ref Opp_solver.empty_stats in
           let solved = ref 0 in
+          let arms = ref [] in
+          let timed name f =
+            let t0 = Unix.gettimeofday () in
+            f ();
+            arms := (name, Unix.gettimeofday () -. t0) :: !arms
+          in
           let arm =
             if wid = 0 && jobs > 1 then begin
-              run_portfolio stats_acc;
-              run_queue stats_acc solved;
+              timed "portfolio" (fun () -> run_portfolio stats_acc);
+              timed "split" (fun () -> run_queue stats_acc solved);
               "portfolio+split"
             end
             else begin
-              run_queue stats_acc solved;
+              timed "split" (fun () -> run_queue stats_acc solved);
               "split"
             end
           in
           worker_out.(wid) <-
-            Some { worker = wid; arm; solved = !solved; stats = !stats_acc }
+            Some
+              {
+                worker = wid;
+                arm;
+                solved = !solved;
+                arm_elapsed_s = List.rev !arms;
+                stats = !stats_acc;
+              }
         in
         (* Always join every domain before returning: cancellation must
            never leak a running domain past the call. *)
@@ -323,6 +357,10 @@ let report_to_json r =
         ("worker", Telemetry.Int w.worker);
         ("arm", Telemetry.String w.arm);
         ("solved", Telemetry.Int w.solved);
+        ( "arm_elapsed_s",
+          Telemetry.Obj
+            (List.map (fun (name, s) -> (name, Telemetry.seconds s)) w.arm_elapsed_s)
+        );
         ("stats", Opp_solver.stats_json w.stats);
       ]
   in

@@ -10,7 +10,11 @@
     cancellation flag that the others poll cooperatively, and when at
     least two jobs are available one worker first runs a {e portfolio}
     arm — the full search with the branch order flipped — whose exact
-    answer also cancels the pool.
+    answer also cancels the pool. The portfolio arm races the queue: it
+    abandons (and its domain joins the queue workers) as soon as a
+    quarter of the subproblems have been settled while unclaimed work
+    remains, so a losing re-search never monopolizes a domain for the
+    whole run.
 
     {b Determinism.} Both solvers are exact, so the feasibility verdict
     is independent of [jobs] and of scheduling: [Feasible]/[Infeasible]
@@ -47,11 +51,16 @@ type split =
 
 (** Per-worker telemetry. [arm] is ["split"] for pure queue workers and
     ["portfolio+split"] for the worker that ran the flipped-order arm
-    first; [solved] counts subproblems this worker completed. *)
+    first; [solved] counts subproblems this worker completed.
+    [arm_elapsed_s] records the wall-clock seconds each arm of this
+    worker ran, in execution order (e.g. [("portfolio", 0.8);
+    ("split", 2.1)]) — the portfolio entry includes time until its
+    answer, cancellation, or abandonment. *)
 type worker_report = {
   worker : int;
   arm : string;
   solved : int;
+  arm_elapsed_s : (string * float) list;
   stats : Opp_solver.stats;
 }
 

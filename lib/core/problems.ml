@@ -6,33 +6,212 @@ type 'a optimum = {
   placement : Placement.t;
 }
 
-let feasible ?options inst cont =
-  match Opp_solver.feasible ?options inst cont with
-  | Ok answer -> answer
-  | Error `Timeout -> failwith "Problems.feasible: budget exhausted"
+type 'a anytime =
+  | Optimal of 'a optimum
+  | Feasible_incumbent of {
+      incumbent : 'a optimum;
+      lower_bound : int;
+      gap : int;
+    }
+  | Infeasible
+  | Unknown of { lower_bound : int }
 
-let solve_or_fail ?options ?schedule inst cont =
-  match Opp_solver.solve ?options ?schedule inst cont with
-  | Opp_solver.Feasible p, _ -> Some p
-  | Opp_solver.Infeasible, _ -> None
-  | Opp_solver.Timeout, _ -> failwith "Problems: node limit exhausted"
+let best = function
+  | Optimal o | Feasible_incumbent { incumbent = o; _ } -> Some o
+  | Infeasible | Unknown _ -> None
 
-(* Monotone binary search: [pred] is false below the answer and true
-   from the answer on; [lo] may already satisfy it. Returns the witness
-   of the smallest satisfying value. *)
-let binary_search ~lo ~hi ~pred =
-  let rec go lo hi witness =
-    (* invariant: pred hi = Some witness, pred (lo - 1) = None *)
-    if lo >= hi then Some (hi, witness)
+let status_string = function
+  | Optimal _ -> "optimal"
+  | Feasible_incumbent _ -> "feasible"
+  | Infeasible -> "infeasible"
+  | Unknown _ -> "unknown"
+
+type probe = {
+  target : Container.t;
+  verdict : [ `Feasible | `Infeasible | `Timeout ];
+  nodes : int;
+  elapsed_s : float;
+}
+
+let probe_json { target; verdict; nodes; elapsed_s } =
+  Telemetry.Obj
+    [
+      ( "container",
+        Telemetry.List
+          (List.init (Container.dim target) (fun d ->
+               Telemetry.Int (Container.extent target d))) );
+      ( "outcome",
+        Telemetry.String
+          (match verdict with
+          | `Feasible -> "feasible"
+          | `Infeasible -> "infeasible"
+          | `Timeout -> "timeout") );
+      ("nodes", Telemetry.Int nodes);
+      ("elapsed_s", Telemetry.seconds elapsed_s);
+    ]
+
+type feasibility =
+  | Sat of Placement.t
+  | Unsat
+  | Undecided
+
+(* ------------------------------------------------------------------ *)
+(* The shared budget and the probe runner                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One budget for the whole optimization run. [node_limit] and
+   [deadline] from the caller's options are reinterpreted as global:
+   every probe is handed whatever remains, and the nodes it spends are
+   subtracted afterwards. [hit] latches the first exhaustion so the
+   drivers stop probing instead of firing zero-budget solves. *)
+type budget = {
+  deadline : float option;
+  mutable nodes_left : int option;
+  mutable hit : bool;
+}
+
+type ctx = {
+  options : Opp_solver.options;
+  jobs : int;
+  on_probe : (probe -> unit) option;
+  budget : budget;
+}
+
+let make_ctx ?(options = Opp_solver.default_options) ?(jobs = 1) ?on_probe () =
+  {
+    options;
+    jobs = max 1 jobs;
+    on_probe;
+    budget =
+      {
+        deadline = options.Opp_solver.deadline;
+        nodes_left = options.Opp_solver.node_limit;
+        hit = false;
+      };
+  }
+
+let exhausted b =
+  b.hit
+  || (match b.nodes_left with Some n -> n <= 0 | None -> false)
+  ||
+  match b.deadline with
+  | Some d -> Unix.gettimeofday () >= d
+  | None -> false
+
+(* Run one decision probe against the remaining budget. Polymorphic in
+   nothing but behaviour: routes through the domain-parallel solver when
+   [jobs > 1] (exact, so the verdict is unchanged), charges the nodes
+   actually spent to the budget, and reports the probe to [on_probe].
+   An already-dead budget short-circuits to [`Timeout] without solving
+   (and without emitting a phantom probe). *)
+let run_probe ?schedule ctx cont inst =
+  if exhausted ctx.budget then begin
+    ctx.budget.hit <- true;
+    `Timeout
+  end
+  else begin
+    let options =
+      {
+        ctx.options with
+        Opp_solver.node_limit = ctx.budget.nodes_left;
+        deadline = ctx.budget.deadline;
+      }
+    in
+    let outcome, stats =
+      if ctx.jobs > 1 then begin
+        let r = Parallel_solver.solve ~options ?schedule ~jobs:ctx.jobs inst cont in
+        (r.Parallel_solver.outcome, r.Parallel_solver.stats)
+      end
+      else Opp_solver.solve ~options ?schedule inst cont
+    in
+    (* With jobs > 1 the per-worker limits make the merged node count
+       exceed the hand-out; charging the merged sum keeps the global
+       budget conservative (never probes past what was granted). *)
+    (match ctx.budget.nodes_left with
+    | Some n -> ctx.budget.nodes_left <- Some (n - stats.Opp_solver.nodes)
+    | None -> ());
+    (match ctx.on_probe with
+    | None -> ()
+    | Some f ->
+      f
+        {
+          target = cont;
+          verdict =
+            (match outcome with
+            | Opp_solver.Feasible _ -> `Feasible
+            | Opp_solver.Infeasible -> `Infeasible
+            | Opp_solver.Timeout -> `Timeout);
+          nodes = stats.Opp_solver.nodes;
+          elapsed_s = stats.Opp_solver.elapsed;
+        });
+    match outcome with
+    | Opp_solver.Feasible p -> `Feasible p
+    | Opp_solver.Infeasible -> `Infeasible
+    | Opp_solver.Timeout ->
+      ctx.budget.hit <- true;
+      `Timeout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Anytime monotone search                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Bisect below a known-feasible incumbent. Feasibility is monotone in
+   the probed value; [proven] is the strongest lower bound already
+   refuted-below (everything < proven is proven infeasible), [lo] the
+   smallest value still worth probing. An [`Infeasible] answer at [mid]
+   raises the proof to [mid + 1]; a [`Timeout] proves nothing, so only
+   [lo] moves — the search keeps shrinking the side where the incumbent
+   can still improve, and the final gap is honest. *)
+let bisect ctx ~lo ~proven ~incumbent ~probe =
+  let best = ref incumbent in
+  let lo = ref lo in
+  let proven = ref proven in
+  while !lo < fst !best && not (exhausted ctx.budget) do
+    let mid = (!lo + fst !best - 1) / 2 in
+    match probe mid with
+    | `Feasible w -> best := (mid, w)
+    | `Infeasible ->
+      lo := mid + 1;
+      proven := max !proven (mid + 1)
+    | `Timeout -> lo := mid + 1
+  done;
+  (!best, !proven)
+
+let classified (value, placement) ~proven =
+  if proven >= value then Optimal { value; placement }
+  else
+    Feasible_incumbent
+      {
+        incumbent = { value; placement };
+        lower_bound = proven;
+        gap = value - proven;
+      }
+
+(* Find a feasible upper end by doubling, tracking how much is proven
+   infeasible along the way. Guard or budget exhaustion is *not* an
+   infeasibility proof — only an [Unknown] with the sizes refuted so
+   far. *)
+let doubling_minimize ctx ~lo ~probe =
+  let rec find_hi s proven guard =
+    if guard = 0 || exhausted ctx.budget then Error proven
     else
-      let mid = (lo + hi) / 2 in
-      match pred mid with
-      | Some w -> go lo mid w
-      | None -> go (mid + 1) hi witness
+      match probe s with
+      | `Feasible w -> Ok (s, w, proven)
+      | `Infeasible -> find_hi (2 * s) (s + 1) (guard - 1)
+      | `Timeout -> Error proven
   in
-  match pred hi with
-  | None -> None
-  | Some w -> go lo hi w
+  match find_hi lo lo 24 with
+  | Error proven -> Unknown { lower_bound = proven }
+  | Ok (hi, w, proven) ->
+    (* Everything below [proven] is already refuted, so the bisection
+       bracket starts there, not back at [lo]. *)
+    let best, proven = bisect ctx ~lo:proven ~proven ~incumbent:(hi, w) ~probe in
+    classified best ~proven
+
+(* ------------------------------------------------------------------ *)
+(* Bounds shared by the drivers                                        *)
+(* ------------------------------------------------------------------ *)
 
 let spatial_misfit inst ~w ~h =
   let bad = ref false in
@@ -57,26 +236,6 @@ let time_lower_bound inst ~w ~h =
     (max (Instance.critical_path inst) volume_bound)
     (max max_duration (Bounds.exclusion_duration inst probe))
 
-let minimize_time ?options inst ~w ~h =
-  if Instance.dim inst <> 3 then
-    invalid_arg "Problems.minimize_time: expects 3-dimensional instances";
-  if spatial_misfit inst ~w ~h then None
-  else begin
-    let lo = max 1 (time_lower_bound inst ~w ~h) in
-    let base = Container.make3 ~w ~h ~t_max:1 in
-    match Heuristic.makespan inst ~base with
-    | None -> None
-    | Some (hi, hi_placement) ->
-      let hi = max lo hi in
-      let pred t =
-        if t = hi then Some hi_placement
-        else solve_or_fail ?options inst (Container.make3 ~w ~h ~t_max:t)
-      in
-      Option.map
-        (fun (value, placement) -> { value; placement })
-        (binary_search ~lo ~hi ~pred)
-  end
-
 let base_lower_bound inst ~t_max =
   let spatial = ref 1 in
   for i = 0 to Instance.count inst - 1 do
@@ -86,36 +245,81 @@ let base_lower_bound inst ~t_max =
   let rec by_volume s = if s * s * t_max >= volume then s else by_volume (s + 1) in
   max !spatial (by_volume !spatial)
 
-let minimize_base ?options inst ~t_max =
+(* ------------------------------------------------------------------ *)
+(* FeasAT&FindS                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let feasible ?options ?jobs inst cont =
+  let ctx = make_ctx ?options ?jobs () in
+  match run_probe ctx cont inst with
+  | `Feasible p -> Sat p
+  | `Infeasible -> Unsat
+  | `Timeout -> Undecided
+
+(* ------------------------------------------------------------------ *)
+(* MinT&FindS                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let minimize_time_ctx ctx ?upper inst ~w ~h =
   if Instance.dim inst <> 3 then
-    invalid_arg "Problems.minimize_base: expects 3-dimensional instances";
-  if Instance.critical_path inst > t_max then None
+    invalid_arg "Problems.minimize_time: expects 3-dimensional instances";
+  if spatial_misfit inst ~w ~h then Infeasible
   else begin
-    let lo = base_lower_bound inst ~t_max in
-    let pred s = solve_or_fail ?options inst (Container.make3 ~w:s ~h:s ~t_max) in
-    (* Find a feasible upper end by doubling; the heuristic succeeds
-       once the chip is large enough to hold any antichain, so this
-       terminates quickly. *)
-    let rec find_hi s guard =
-      if guard = 0 then None
-      else
-        match pred s with
-        | Some w -> Some (s, w)
-        | None -> find_hi (2 * s) (guard - 1)
+    let lo = max 1 (time_lower_bound inst ~w ~h) in
+    let incumbent =
+      match upper with
+      | Some { value; placement } ->
+        (* The caller's witness is feasible at [value] on this chip, and
+           [lo] is a valid lower bound, so [value >= lo]; the max is
+           only defensive. *)
+        Some (max lo value, placement)
+      | None ->
+        let base = Container.make3 ~w ~h ~t_max:1 in
+        Option.map
+          (fun (hi, p) -> (max lo hi, p))
+          (Heuristic.makespan inst ~base)
     in
-    match find_hi lo 24 with
-    | None -> None
-    | Some (hi, _) ->
-      Option.map
-        (fun (value, placement) -> { value; placement })
-        (binary_search ~lo ~hi ~pred)
+    match incumbent with
+    | None ->
+      (* The list scheduler always places a spatially fitting task set
+         given unbounded time, so a miss means spatial misfit. *)
+      Infeasible
+    | Some incumbent ->
+      let probe t = run_probe ctx (Container.make3 ~w ~h ~t_max:t) inst in
+      let best, proven = bisect ctx ~lo ~proven:lo ~incumbent ~probe in
+      classified best ~proven
   end
 
-let minimize_area_rect ?options inst ~t_max =
+let minimize_time ?options ?jobs ?on_probe ?upper inst ~w ~h =
+  minimize_time_ctx (make_ctx ?options ?jobs ?on_probe ()) ?upper inst ~w ~h
+
+(* ------------------------------------------------------------------ *)
+(* MinA&FindS                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let minimize_base_ctx ctx inst ~t_max =
+  if Instance.dim inst <> 3 then
+    invalid_arg "Problems.minimize_base: expects 3-dimensional instances";
+  if Instance.critical_path inst > t_max then Infeasible
+  else begin
+    let lo = base_lower_bound inst ~t_max in
+    let probe s = run_probe ctx (Container.make3 ~w:s ~h:s ~t_max) inst in
+    doubling_minimize ctx ~lo ~probe
+  end
+
+let minimize_base ?options ?jobs ?on_probe inst ~t_max =
+  minimize_base_ctx (make_ctx ?options ?jobs ?on_probe ()) inst ~t_max
+
+(* ------------------------------------------------------------------ *)
+(* Rectangular chips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let minimize_area_rect ?options ?jobs ?on_probe inst ~t_max =
   if Instance.dim inst <> 3 then
     invalid_arg "Problems.minimize_area_rect: expects 3-dimensional instances";
-  if Instance.critical_path inst > t_max then None
+  if Instance.critical_path inst > t_max then Infeasible
   else begin
+    let ctx = make_ctx ?options ?jobs ?on_probe () in
     let n = Instance.count inst in
     let max_w = ref 1 and max_h = ref 1 in
     for i = 0 to n - 1 do
@@ -123,114 +327,194 @@ let minimize_area_rect ?options inst ~t_max =
       max_h := max !max_h (Instance.extent inst i 1)
     done;
     let volume = Instance.total_volume inst in
-    (* Seed the incumbent with the square optimum. A feasible w x h chip
-       embeds in the max(w,h) square, so when no square works no
-       rectangle does either. *)
-    match minimize_base ?options inst ~t_max with
-    | None -> None
-    | Some { value = s; placement = square_placement } ->
-    let best = ref (Some ((s, s), square_placement)) in
-    let best_area = ref (s * s) in
-    let h_floor w = max !max_h ((volume + (w * t_max) - 1) / (w * t_max)) in
-    let w = ref !max_w in
-    let continue_ = ref true in
-    while !continue_ do
-      let w0 = !w in
-      if w0 * h_floor w0 >= !best_area then begin
-        (* Wider chips only raise the area floor further once the width
-           alone exceeds the incumbent. *)
-        if w0 * !max_h >= !best_area then continue_ := false
-        else incr w
-      end
-      else begin
-        let pred h =
-          solve_or_fail ?options inst (Container.make3 ~w:w0 ~h ~t_max)
-        in
-        (* Binary search needs a feasible upper end below the incumbent
-           area; cap h so the area can still improve. *)
-        let h_cap = (!best_area - 1) / w0 in
-        let lo = h_floor w0 in
-        (* Feasibility is monotone in h, so testing the cap decides
-           whether this width can improve on the incumbent at all. *)
-        if lo <= h_cap then
-          (match binary_search ~lo ~hi:h_cap ~pred with
-          | Some (h, placement) when w0 * h < !best_area ->
-            best := Some ((w0, h), placement);
-            best_area := w0 * h
-          | _ -> ());
-        incr w
-      end
-    done;
-    Option.map
-      (fun ((w, h), placement) -> { value = (w, h); placement })
-      !best
+    let area_lb = max (!max_w * !max_h) ((volume + t_max - 1) / t_max) in
+    (* Seed the incumbent with the square optimum; the square search
+       shares this run's budget. A feasible w x h chip embeds in the
+       max(w,h) square, so when no square works no rectangle does
+       either. *)
+    match minimize_base_ctx ctx inst ~t_max with
+    | Infeasible -> Infeasible
+    | Unknown _ -> Unknown { lower_bound = area_lb }
+    | (Optimal seed | Feasible_incumbent { incumbent = seed; _ }) as square ->
+      let exact = ref (match square with Optimal _ -> true | _ -> false) in
+      let s = seed.value in
+      let best = ref ((s, s), seed.placement) in
+      let best_area = ref (s * s) in
+      let h_floor w = max !max_h ((volume + (w * t_max) - 1) / (w * t_max)) in
+      let w = ref !max_w in
+      let continue_ = ref true in
+      while !continue_ do
+        if exhausted ctx.budget then begin
+          (* The sweep died mid-way: widths past [w] are unexplored. *)
+          exact := false;
+          continue_ := false
+        end
+        else begin
+          let w0 = !w in
+          if w0 * h_floor w0 >= !best_area then begin
+            (* Wider chips only raise the area floor further once the
+               width alone exceeds the incumbent. *)
+            if w0 * !max_h >= !best_area then continue_ := false else incr w
+          end
+          else begin
+            let probe h = run_probe ctx (Container.make3 ~w:w0 ~h ~t_max) inst in
+            (* The bisection needs a feasible upper end below the
+               incumbent area; cap h so the area can still improve.
+               Feasibility is monotone in h, so probing the cap decides
+               whether this width can improve at all. *)
+            let h_cap = (!best_area - 1) / w0 in
+            let lo = h_floor w0 in
+            if lo <= h_cap then begin
+              match probe h_cap with
+              | `Infeasible -> ()
+              | `Timeout -> exact := false
+              | `Feasible wit ->
+                let (bh, bw), proven =
+                  bisect ctx ~lo ~proven:lo ~incumbent:(h_cap, wit) ~probe
+                in
+                if proven < bh then exact := false;
+                if w0 * bh < !best_area then begin
+                  best := ((w0, bh), bw);
+                  best_area := w0 * bh
+                end
+            end;
+            incr w
+          end
+        end
+      done;
+      let value, placement = !best in
+      if !exact then Optimal { value; placement }
+      else
+        Feasible_incumbent
+          {
+            incumbent = { value; placement };
+            lower_bound = area_lb;
+            gap = !best_area - area_lb;
+          }
   end
 
-let feasible_fixed_schedule ?options inst ~w ~h ~t_max ~schedule =
-  if Instance.dim inst <> 3 then
-    invalid_arg "Problems.feasible_fixed_schedule: expects 3-dimensional instances";
+(* ------------------------------------------------------------------ *)
+(* Fixed schedules                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_valid inst ~t_max ~schedule ~who =
   let n = Instance.count inst in
   if Array.length schedule <> n then
-    invalid_arg "Problems.feasible_fixed_schedule: schedule arity";
-  let within =
-    Array.for_all Fun.id
-      (Array.init n (fun i ->
-           schedule.(i) >= 0 && schedule.(i) + Instance.duration inst i <= t_max))
+    invalid_arg (who ^ ": schedule arity");
+  Array.for_all Fun.id
+    (Array.init n (fun i ->
+         schedule.(i) >= 0 && schedule.(i) + Instance.duration inst i <= t_max))
+  && Order.Partial_order.respects (Instance.precedence inst) schedule
+       ~duration:(Instance.duration inst)
+
+(* Substitute the requested start times into the solver's witness: it
+   has the same time-overlap structure, so spatial disjointness carries
+   over; re-validate to be safe. *)
+let substitute_schedule inst ~w ~h ~t_max ~schedule p =
+  let n = Instance.count inst in
+  let origins =
+    Array.init n (fun i ->
+        let o = Placement.origin p i in
+        [| o.(0); o.(1); schedule.(i) |])
   in
+  let q = Placement.make (Instance.boxes inst) origins in
+  let container = Container.make3 ~w ~h ~t_max in
+  if Placement.is_feasible q ~container ~precedes:(Instance.precedes inst) then
+    Some q
+  else None
+
+let feasible_fixed_schedule ?options ?jobs inst ~w ~h ~t_max ~schedule =
+  if Instance.dim inst <> 3 then
+    invalid_arg "Problems.feasible_fixed_schedule: expects 3-dimensional instances";
   if
-    (not within)
-    || not
-         (Order.Partial_order.respects (Instance.precedence inst) schedule
-            ~duration:(Instance.duration inst))
-  then None
-  else
-    match
-      solve_or_fail ?options ~schedule inst (Container.make3 ~w ~h ~t_max)
-    with
-    | None -> None
-    | Some p ->
-      (* Substitute the requested start times: the solver's witness has
-         the same time-overlap structure, so spatial disjointness
-         carries over; re-validate to be safe. *)
-      let origins =
-        Array.init n (fun i ->
-            let o = Placement.origin p i in
-            [| o.(0); o.(1); schedule.(i) |])
-      in
-      let q = Placement.make (Instance.boxes inst) origins in
-      let container = Container.make3 ~w ~h ~t_max in
-      if Placement.is_feasible q ~container ~precedes:(Instance.precedes inst)
-      then Some q
-      else None
+    not
+      (schedule_valid inst ~t_max ~schedule
+         ~who:"Problems.feasible_fixed_schedule")
+  then Unsat
+  else begin
+    let ctx = make_ctx ?options ?jobs () in
+    match run_probe ~schedule ctx (Container.make3 ~w ~h ~t_max) inst with
+    | `Timeout -> Undecided
+    | `Infeasible -> Unsat
+    | `Feasible p -> (
+      match substitute_schedule inst ~w ~h ~t_max ~schedule p with
+      | Some q -> Sat q
+      | None -> Unsat)
+  end
 
-let minimize_base_fixed_schedule ?options inst ~t_max ~schedule =
-  let lo = base_lower_bound inst ~t_max in
-  let pred s =
-    feasible_fixed_schedule ?options inst ~w:s ~h:s ~t_max ~schedule
-  in
-  let rec find_hi s guard =
-    if guard = 0 then None
-    else match pred s with Some w -> Some (s, w) | None -> find_hi (2 * s) (guard - 1)
-  in
-  match find_hi lo 24 with
-  | None -> None
-  | Some (hi, _) ->
-    Option.map
-      (fun (value, placement) -> { value; placement })
-      (binary_search ~lo ~hi ~pred)
+let minimize_base_fixed_schedule ?options ?jobs ?on_probe inst ~t_max ~schedule
+    =
+  if Instance.dim inst <> 3 then
+    invalid_arg
+      "Problems.minimize_base_fixed_schedule: expects 3-dimensional instances";
+  if
+    not
+      (schedule_valid inst ~t_max ~schedule
+         ~who:"Problems.minimize_base_fixed_schedule")
+  then Infeasible
+  else begin
+    let ctx = make_ctx ?options ?jobs ?on_probe () in
+    let probe s =
+      match run_probe ~schedule ctx (Container.make3 ~w:s ~h:s ~t_max) inst with
+      | `Feasible p -> (
+        match substitute_schedule inst ~w:s ~h:s ~t_max ~schedule p with
+        | Some q -> `Feasible q
+        | None -> `Infeasible)
+      | (`Infeasible | `Timeout) as r -> r
+    in
+    doubling_minimize ctx ~lo:(base_lower_bound inst ~t_max) ~probe
+  end
 
-let pareto_front ?options inst ~h_min ~h_max =
+(* ------------------------------------------------------------------ *)
+(* The Pareto front (Fig. 7)                                           *)
+(* ------------------------------------------------------------------ *)
+
+type front = {
+  points : (int * int) list;
+  complete : bool;
+}
+
+let pareto_front ?options ?jobs ?on_probe inst ~h_min ~h_max =
   if h_min > h_max then invalid_arg "Problems.pareto_front: empty range";
+  let ctx = make_ctx ?options ?jobs ?on_probe () in
+  let floor_t = Instance.critical_path inst in
   let points = ref [] in
-  let best_t = ref max_int in
-  for s = h_min to h_max do
-    if !best_t > Instance.critical_path inst then
-      match minimize_time ?options inst ~w:s ~h:s with
-      | None -> ()
-      | Some { value = t; _ } ->
-        if t < !best_t then begin
-          points := (s, t) :: !points;
-          best_t := t
+  (* Best (makespan, witness) so far; the witness warm-starts the next
+     width's bisection as its upper bracket — it stays feasible on the
+     larger chip, so the heuristic never needs rerunning and no width
+     ever probes makespans that cannot improve the front. *)
+  let incumbent = ref None in
+  let complete = ref true in
+  let s = ref h_min in
+  let continue_ = ref true in
+  while !continue_ && !s <= h_max do
+    let best_t = match !incumbent with Some (t, _) -> t | None -> max_int in
+    if best_t <= floor_t then
+      (* No chip can beat the critical path; the front is closed. *)
+      continue_ := false
+    else if exhausted ctx.budget then begin
+      complete := false;
+      continue_ := false
+    end
+    else begin
+      let upper =
+        Option.map (fun (t, p) -> { value = t; placement = p }) !incumbent
+      in
+      let record t placement =
+        if t < best_t then begin
+          points := (!s, t) :: !points;
+          incumbent := Some (t, placement)
         end
+      in
+      (match minimize_time_ctx ctx ?upper inst ~w:!s ~h:!s with
+      | Infeasible -> ()
+      | Unknown _ -> complete := false
+      | Optimal { value = t; placement } -> record t placement
+      | Feasible_incumbent { incumbent = { value = t; placement }; _ } ->
+        (* An unproven point may sit above the true front. *)
+        complete := false;
+        record t placement);
+      incr s
+    end
   done;
-  List.rev !points
+  { points = List.rev !points; complete = !complete }

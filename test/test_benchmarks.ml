@@ -35,8 +35,9 @@ let test_de_table1 () =
   List.iter
     (fun (t_max, expected) ->
       match Problems.minimize_base De.instance ~t_max with
-      | None -> Alcotest.failf "T=%d must be feasible" t_max
-      | Some { Problems.value; placement } ->
+      | Problems.Infeasible | Problems.Feasible_incumbent _ | Problems.Unknown _
+        -> Alcotest.failf "T=%d must be optimal" t_max
+      | Problems.Optimal { value; placement } ->
         Alcotest.(check int) (Printf.sprintf "optimal chip at T=%d" t_max)
           expected value;
         Alcotest.(check bool) "witness valid" true
@@ -47,20 +48,24 @@ let test_de_table1 () =
 
 let test_de_fig7_solid () =
   let front = Problems.pareto_front De.instance ~h_min:16 ~h_max:48 in
+  Alcotest.(check bool) "solid front complete" true front.Problems.complete;
   Alcotest.(check (list (pair int int)))
-    "solid Pareto front" [ (16, 14); (17, 13); (32, 6) ] front
+    "solid Pareto front" [ (16, 14); (17, 13); (32, 6) ] front.Problems.points
 
 let test_de_fig7_dashed () =
   let front =
     Problems.pareto_front De.instance_without_precedence ~h_min:16 ~h_max:48
   in
+  Alcotest.(check bool) "dashed front complete" true front.Problems.complete;
   Alcotest.(check (list (pair int int)))
-    "dashed Pareto front" [ (16, 13); (17, 12); (32, 4); (48, 2) ] front
+    "dashed Pareto front"
+    [ (16, 13); (17, 12); (32, 4); (48, 2) ]
+    front.Problems.points
 
 let test_de_infeasible_below_16 () =
   (* One multiplier alone fills a 16x16 chip; nothing smaller works. *)
   Alcotest.(check bool) "15x15 hopeless" true
-    (Problems.minimize_time De.instance ~w:15 ~h:15 = None)
+    (Problems.minimize_time De.instance ~w:15 ~h:15 = Problems.Infeasible)
 
 (* ------------------------------------------------------------------ *)
 (* Video codec benchmark                                               *)
@@ -78,12 +83,12 @@ let test_codec_shape () =
 let test_codec_table2 () =
   let h_exp, t_exp = VC.table2 in
   (match Problems.minimize_base VC.instance ~t_max:t_exp with
-  | None -> Alcotest.fail "codec feasible at T=59"
-  | Some { Problems.value; _ } ->
-    Alcotest.(check int) "chip 64" h_exp value);
+  | Problems.Optimal { value; _ } -> Alcotest.(check int) "chip 64" h_exp value
+  | _ -> Alcotest.fail "codec feasible at T=59");
   match Problems.minimize_time VC.instance ~w:64 ~h:64 with
-  | None -> Alcotest.fail "codec feasible on 64x64"
-  | Some { Problems.value; _ } -> Alcotest.(check int) "latency 59" t_exp value
+  | Problems.Optimal { value; _ } ->
+    Alcotest.(check int) "latency 59" t_exp value
+  | _ -> Alcotest.fail "codec feasible on 64x64"
 
 let test_codec_no_smaller_chip () =
   (* "there is no solution for container sizes smaller than 64x64" *)
@@ -96,7 +101,7 @@ let test_codec_no_smaller_chip () =
 
 let test_codec_infeasible_below_59 () =
   Alcotest.(check bool) "T=58 infeasible" true
-    (Problems.minimize_base VC.instance ~t_max:58 = None)
+    (Problems.minimize_base VC.instance ~t_max:58 = Problems.Infeasible)
 
 (* ------------------------------------------------------------------ *)
 (* Generators                                                          *)
@@ -191,9 +196,9 @@ let test_dfg_solvable () =
      (two MULs run in parallel, adders slot beside them). *)
   let f = Benchmarks.Dfg.fir ~taps:4 in
   match Problems.minimize_time f ~w:48 ~h:48 with
-  | None -> Alcotest.fail "fits"
-  | Some { Problems.value; _ } ->
+  | Problems.Optimal { value; _ } ->
     Alcotest.(check int) "critical-path optimal" (Instance.critical_path f) value
+  | _ -> Alcotest.fail "fits"
 
 let () =
   Alcotest.run "benchmarks"

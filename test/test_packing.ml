@@ -394,75 +394,89 @@ let prop_guillotine_feasible (seed, cuts) =
 (* Problems                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* With an unlimited budget the anytime drivers must settle: anything
+   other than [Optimal] (or a proven [Infeasible]) is a failure. *)
+let optimal_exn = function
+  | Problems.Optimal o -> o
+  | r -> Alcotest.failf "expected an optimum, got %s" (Problems.status_string r)
+
 let test_minimize_time () =
   let i = inst ~precedence:[ (0, 1) ] [ box3 2 2 2; box3 2 2 2 ] in
-  match Problems.minimize_time i ~w:4 ~h:4 with
-  | None -> Alcotest.fail "feasible"
-  | Some { value; placement } ->
-    Alcotest.(check int) "chain" 4 value;
-    Alcotest.(check int) "witness makespan" 4 (Placement.makespan placement)
+  let { Problems.value; placement } = optimal_exn (Problems.minimize_time i ~w:4 ~h:4) in
+  Alcotest.(check int) "chain" 4 value;
+  Alcotest.(check int) "witness makespan" 4 (Placement.makespan placement)
 
 let test_minimize_time_parallel () =
   let i = inst [ box3 2 2 2; box3 2 2 2 ] in
-  match Problems.minimize_time i ~w:4 ~h:2 with
-  | None -> Alcotest.fail "feasible"
-  | Some { value; _ } -> Alcotest.(check int) "parallel" 2 value
+  let { Problems.value; _ } = optimal_exn (Problems.minimize_time i ~w:4 ~h:2) in
+  Alcotest.(check int) "parallel" 2 value
 
 let test_minimize_time_misfit () =
   let i = inst [ box3 5 1 1 ] in
-  Alcotest.(check bool) "too wide" true (Problems.minimize_time i ~w:4 ~h:4 = None)
+  Alcotest.(check bool) "too wide" true
+    (Problems.minimize_time i ~w:4 ~h:4 = Problems.Infeasible)
 
 let test_minimize_base () =
   (* Two 2x2x2 boxes in 2 cycles: need a 4x2... with quadratic base a
      2x2 chip can serialize them given 4 cycles, but in 2 cycles they
      must sit side by side: 4x4 is the smallest square. *)
   let i = inst [ box3 2 2 2; box3 2 2 2 ] in
-  (match Problems.minimize_base i ~t_max:2 with
-  | None -> Alcotest.fail "feasible"
-  | Some { value; _ } -> Alcotest.(check int) "side by side" 4 value);
-  match Problems.minimize_base i ~t_max:4 with
-  | None -> Alcotest.fail "feasible"
-  | Some { value; _ } -> Alcotest.(check int) "serialized" 2 value
+  let { Problems.value; _ } = optimal_exn (Problems.minimize_base i ~t_max:2) in
+  Alcotest.(check int) "side by side" 4 value;
+  let { Problems.value; _ } = optimal_exn (Problems.minimize_base i ~t_max:4) in
+  Alcotest.(check int) "serialized" 2 value
 
 let test_minimize_base_critical_path () =
   let i = inst ~precedence:[ (0, 1) ] [ box3 1 1 3; box3 1 1 3 ] in
   Alcotest.(check bool) "chain exceeds budget" true
-    (Problems.minimize_base i ~t_max:5 = None)
+    (Problems.minimize_base i ~t_max:5 = Problems.Infeasible)
 
 let test_fixed_schedule () =
   let i = inst ~precedence:[ (0, 1) ] [ box3 2 2 2; box3 2 2 2 ] in
   (* Valid schedule: task 1 after task 0. *)
   (match Problems.feasible_fixed_schedule i ~w:2 ~h:2 ~t_max:4 ~schedule:[| 0; 2 |] with
-  | None -> Alcotest.fail "schedule is realizable"
-  | Some p ->
-    Alcotest.(check int) "start honored" 2 (Placement.start_time p 1));
+  | Problems.Sat p ->
+    Alcotest.(check int) "start honored" 2 (Placement.start_time p 1)
+  | Problems.Unsat | Problems.Undecided -> Alcotest.fail "schedule is realizable");
   (* Schedule violating precedence is rejected outright. *)
   Alcotest.(check bool) "violating schedule" true
-    (Problems.feasible_fixed_schedule i ~w:2 ~h:2 ~t_max:4 ~schedule:[| 2; 0 |] = None);
+    (Problems.feasible_fixed_schedule i ~w:2 ~h:2 ~t_max:4 ~schedule:[| 2; 0 |]
+    = Problems.Unsat);
   (* Simultaneous schedule needs a wider chip. *)
   let free = inst [ box3 2 2 2; box3 2 2 2 ] in
   Alcotest.(check bool) "simultaneous too tight" true
-    (Problems.feasible_fixed_schedule free ~w:2 ~h:2 ~t_max:2 ~schedule:[| 0; 0 |] = None);
+    (Problems.feasible_fixed_schedule free ~w:2 ~h:2 ~t_max:2 ~schedule:[| 0; 0 |]
+    = Problems.Unsat);
   Alcotest.(check bool) "simultaneous fits wider" true
-    (Problems.feasible_fixed_schedule free ~w:4 ~h:2 ~t_max:2 ~schedule:[| 0; 0 |] <> None)
+    (match
+       Problems.feasible_fixed_schedule free ~w:4 ~h:2 ~t_max:2
+         ~schedule:[| 0; 0 |]
+     with
+    | Problems.Sat _ -> true
+    | Problems.Unsat | Problems.Undecided -> false)
 
 let test_minimize_base_fixed_schedule () =
   let i = inst [ box3 2 2 2; box3 2 2 2 ] in
-  (match Problems.minimize_base_fixed_schedule i ~t_max:2 ~schedule:[| 0; 0 |] with
-  | None -> Alcotest.fail "feasible"
-  | Some { value; _ } -> Alcotest.(check int) "parallel needs 4" 4 value);
-  match Problems.minimize_base_fixed_schedule i ~t_max:4 ~schedule:[| 0; 2 |] with
-  | None -> Alcotest.fail "feasible"
-  | Some { value; _ } -> Alcotest.(check int) "serial needs 2" 2 value
+  let { Problems.value; _ } =
+    optimal_exn (Problems.minimize_base_fixed_schedule i ~t_max:2 ~schedule:[| 0; 0 |])
+  in
+  Alcotest.(check int) "parallel needs 4" 4 value;
+  let { Problems.value; _ } =
+    optimal_exn (Problems.minimize_base_fixed_schedule i ~t_max:4 ~schedule:[| 0; 2 |])
+  in
+  Alcotest.(check int) "serial needs 2" 2 value
 
 let test_pareto () =
   let i = inst ~precedence:[ (0, 1) ] [ box3 2 2 2; box3 2 2 2 ] in
   let front = Problems.pareto_front i ~h_min:2 ~h_max:6 in
   (* Chain of two: time 4 on any chip >= 2 (they serialize anyway). *)
-  Alcotest.(check (list (pair int int))) "front" [ (2, 4) ] front;
+  Alcotest.(check (list (pair int int))) "front" [ (2, 4) ] front.Problems.points;
+  Alcotest.(check bool) "front complete" true front.Problems.complete;
   let free = inst [ box3 2 2 2; box3 2 2 2 ] in
   let front = Problems.pareto_front free ~h_min:2 ~h_max:6 in
-  Alcotest.(check (list (pair int int))) "front without order" [ (2, 4); (4, 2) ] front
+  Alcotest.(check (list (pair int int)))
+    "front without order" [ (2, 4); (4, 2) ] front.Problems.points;
+  Alcotest.(check bool) "front without order complete" true front.Problems.complete
 
 (* Minimized values are consistent: solving at value succeeds, at
    value - 1 fails. *)
@@ -470,8 +484,9 @@ let prop_minimize_time_tight (dims, arcs, (cw, ch, _)) =
   let boxes = List.map (fun (w, h, d) -> box3 w h d) dims in
   let i = inst ~precedence:arcs boxes in
   match Problems.minimize_time i ~w:cw ~h:ch with
-  | None -> true
-  | Some { value; placement } ->
+  | Problems.Infeasible -> true
+  | Problems.Feasible_incumbent _ | Problems.Unknown _ -> false
+  | Problems.Optimal { value; placement } ->
     Placement.makespan placement <= value
     && (value = 1
        || not (solve_bool ~options:no_stage12 i (cont3 cw ch (value - 1))))
@@ -542,35 +557,36 @@ let test_minimize_area_rect () =
   (* Two 2x2x2 boxes simultaneously: a 4x2 rectangle beats the 4x4
      square (area 8 vs 16). *)
   let i = inst [ box3 2 2 2; box3 2 2 2 ] in
-  (match Problems.minimize_area_rect i ~t_max:2 with
-  | None -> Alcotest.fail "feasible"
-  | Some { Problems.value = w, h; placement } ->
-    Alcotest.(check int) "area" 8 (w * h);
-    Alcotest.(check bool) "witness valid" true
-      (Placement.is_feasible placement
-         ~container:(cont3 w h 2)
-         ~precedes:(Instance.precedes i)));
+  let { Problems.value = w, h; placement } =
+    optimal_exn (Problems.minimize_area_rect i ~t_max:2)
+  in
+  Alcotest.(check int) "area" 8 (w * h);
+  Alcotest.(check bool) "witness valid" true
+    (Placement.is_feasible placement
+       ~container:(cont3 w h 2)
+       ~precedes:(Instance.precedes i));
   (* With 4 cycles they serialize on a 2x2 chip. *)
-  (match Problems.minimize_area_rect i ~t_max:4 with
-  | None -> Alcotest.fail "feasible"
-  | Some { Problems.value = w, h; _ } -> Alcotest.(check int) "serialized" 4 (w * h));
+  let { Problems.value = w, h; _ } =
+    optimal_exn (Problems.minimize_area_rect i ~t_max:4)
+  in
+  Alcotest.(check int) "serialized" 4 (w * h);
   (* Asymmetric boxes force an asymmetric optimum: a 1x4 module and a
      1x4 module side by side in one cycle need 2x4, not 3x3. *)
   let tall = inst [ box3 1 4 1; box3 1 4 1 ] in
-  match Problems.minimize_area_rect tall ~t_max:1 with
-  | None -> Alcotest.fail "feasible"
-  | Some { Problems.value = w, h; _ } ->
-    (* Both (1,8) and (2,4) are optimal; the area and the height floor
-       are what matters. *)
-    Alcotest.(check int) "tall pair area" 8 (w * h);
-    Alcotest.(check bool) "height floor" true (h >= 4)
+  let { Problems.value = w, h; _ } =
+    optimal_exn (Problems.minimize_area_rect tall ~t_max:1)
+  in
+  (* Both (1,8) and (2,4) are optimal; the area and the height floor
+     are what matters. *)
+  Alcotest.(check int) "tall pair area" 8 (w * h);
+  Alcotest.(check bool) "height floor" true (h >= 4)
 
 let prop_minimize_area_rect_never_worse_than_square (dims, arcs, (_, _, ct)) =
   let boxes = List.map (fun (w, h, d) -> box3 w h d) dims in
   let i = inst ~precedence:arcs boxes in
   match (Problems.minimize_area_rect i ~t_max:ct, Problems.minimize_base i ~t_max:ct) with
-  | None, None -> true
-  | Some { Problems.value = w, h; _ }, Some { Problems.value = s; _ } ->
+  | Problems.Infeasible, Problems.Infeasible -> true
+  | Problems.Optimal { value = w, h; _ }, Problems.Optimal { value = s; _ } ->
     w * h <= s * s
   | _ -> false
 

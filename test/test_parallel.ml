@@ -283,6 +283,25 @@ let test_stats_merge () =
   Alcotest.(check bool) "depth recorded" true (r.Par.stats.Solver.max_depth > 0);
   Alcotest.(check bool) "elapsed recorded" true (r.Par.stats.Solver.elapsed > 0.0)
 
+(* Every worker reports how long each of its arms ran; worker 0 always
+   records a portfolio entry when jobs > 1 reach the search stage. *)
+let test_arm_elapsed () =
+  let i, c = hard_case () in
+  let options = { search_only with node_limit = Some 2_000 } in
+  let r = Par.solve ~options ~jobs:3 i c in
+  Alcotest.(check bool) "workers reported" true (r.Par.workers <> []);
+  List.iter
+    (fun (w : Par.worker_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "worker %d has non-negative arm timings" w.worker)
+        true
+        (w.arm_elapsed_s <> []
+        && List.for_all (fun (_, s) -> s >= 0.0) w.arm_elapsed_s);
+      if w.worker = 0 then
+        Alcotest.(check bool) "worker 0 timed the portfolio arm" true
+          (List.mem_assoc "portfolio" w.arm_elapsed_s))
+    r.Par.workers
+
 let test_on_progress () =
   let i, c = hard_case () in
   let calls = Atomic.make 0 in
@@ -362,6 +381,7 @@ let () =
       ( "telemetry",
         [
           Alcotest.test_case "stats merge" `Quick test_stats_merge;
+          Alcotest.test_case "per-arm elapsed" `Quick test_arm_elapsed;
           Alcotest.test_case "on_progress fires" `Quick test_on_progress;
           Alcotest.test_case "report json" `Quick test_report_json;
         ] );
