@@ -636,6 +636,203 @@ let engine_bench () =
   Format.printf "  wrote BENCH_engine.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Bound engine: stage-3 search with node-level bound checks on vs     *)
+(* off, written to BENCH_bounds.json                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bounds_tiny () =
+  match Sys.getenv_opt "BOUNDS_TINY" with
+  | Some ("1" | "true") -> true
+  | _ -> false
+
+(* Node cap per run: keeps the off-side of the engine-refutable cases
+   deterministic (nodes, not seconds) and the whole sweep bounded. *)
+let bounds_node_limit () =
+  match Sys.getenv_opt "BOUNDS_NODE_LIMIT" with
+  | Some s -> int_of_string s
+  | None -> if bounds_tiny () then 200_000 else 2_000_000
+
+let bounds_cases () =
+  if bounds_tiny () then
+    (* CI smoke: cases that finish in milliseconds either way (one of
+       them engine-refutable), just to exercise the harness and the
+       JSON shape. *)
+    List.map
+      (fun seed ->
+        ( Printf.sprintf "random s%d n6 6x6x6" seed,
+          Benchmarks.Generate.random ~seed ~n:6 ~max_extent:4 ~max_duration:3
+            ~arc_probability:0.2 (),
+          Geometry.Container.make3 ~w:6 ~h:6 ~t_max:6 ))
+      [ 1; 2 ]
+    @ [
+        ( "six 2x2x2 3x3x5",
+          Packing.Instance.make
+            ~boxes:
+              (Array.init 6 (fun _ -> Geometry.Box.make3 ~w:2 ~h:2 ~duration:2))
+            (),
+          Geometry.Container.make3 ~w:3 ~h:3 ~t_max:5 );
+      ]
+  else
+    (* Two deliberately different regimes:
+
+       - the calibrated feasible searches (from the parallel/engine
+         benches), where pairwise propagation subsumes the bound
+         certificates — measuring that the engine hooks cost nothing;
+       - near-critical volume instances (many small boxes, no pairwise
+         spatial exclusion, total volume barely over capacity): the
+         family the paper's volume/DFF bounds exist for. Pairwise
+         propagation is blind there — the raw search exhausts an
+         enormous tree while the engine refutes the root outright. *)
+    let small_boxes name n (bw, bh, bd) extra (w, h, t) =
+      ( name,
+        Packing.Instance.make
+          ~boxes:
+            (Array.of_list
+               (List.init n (fun _ -> Geometry.Box.make3 ~w:bw ~h:bh ~duration:bd)
+               @ extra))
+          (),
+        Geometry.Container.make3 ~w ~h ~t_max:t )
+    in
+    [
+      List.nth (parallel_cases ()) 0;
+      (* s101 *)
+      List.nth (parallel_cases ()) 1;
+      (* s293 *)
+      List.nth (parallel_cases ()) 2;
+      (* s307 *)
+      List.nth (parallel_cases ()) 3;
+      (* s241 *)
+      List.nth (parallel_cases ()) 4;
+      (* s21 *)
+      small_boxes "nine 2x2x2 4x4x4" 9 (2, 2, 2) [] (4, 4, 4);
+      small_boxes "ten 2x2x2 + pebble 4x4x5" 10 (2, 2, 2)
+        [ Geometry.Box.make3 ~w:1 ~h:1 ~duration:1 ]
+        (4, 4, 5);
+      small_boxes "13 2x2x2 + pebble 5x5x4" 13 (2, 2, 2)
+        [ Geometry.Box.make3 ~w:1 ~h:1 ~duration:1 ]
+        (5, 5, 4);
+    ]
+
+let bounds_bench () =
+  let node_limit = bounds_node_limit () in
+  Format.printf
+    "@.== Bounds: engine off vs on (stage-3 search, %d-node cap per run) ==@."
+    node_limit;
+  Format.printf
+    "  instance                        off               on              \
+     nodes   time@.";
+  (* Off: no engine anywhere. On: the full integration — stage-1 root
+     check plus throttled node-level checks. Heuristic off on both
+     sides so only the search and the bounds are measured. *)
+  let off_options =
+    {
+      search_only with
+      Packing.Opp_solver.node_limit = Some node_limit;
+      node_bounds = Packing.Opp_solver.Realize_never;
+    }
+  in
+  let on_options =
+    {
+      search_only with
+      Packing.Opp_solver.use_bounds = true;
+      node_limit = Some node_limit;
+      node_bounds = Packing.Opp_solver.default_node_bounds;
+    }
+  in
+  let verdict = function
+    | Packing.Opp_solver.Feasible _ -> "feasible"
+    | Packing.Opp_solver.Infeasible -> "infeasible"
+    | Packing.Opp_solver.Timeout -> "timeout"
+  in
+  (* Nodes are deterministic per configuration; wall time is the min of
+     two runs to damp scheduling noise. *)
+  let measure options inst cont =
+    let (o, s), t1 = wall (fun () -> Packing.Opp_solver.solve ~options inst cont) in
+    let _, t2 = wall (fun () -> Packing.Opp_solver.solve ~options inst cont) in
+    (o, s, Float.min t1 t2)
+  in
+  let rows = ref [] in
+  let node_ratios = ref [] in
+  List.iter
+    (fun (name, inst, cont) ->
+      let off_o, off_s, off_t = measure off_options inst cont in
+      let on_o, on_s, on_t = measure on_options inst cont in
+      let off_done = off_o <> Packing.Opp_solver.Timeout
+      and on_done = on_o <> Packing.Opp_solver.Timeout in
+      let off_n = off_s.Packing.Opp_solver.nodes
+      and on_n = on_s.Packing.Opp_solver.nodes in
+      (* +1 smoothing lets a 0-node root refutation enter the geomean;
+         when only the off side hit its cap the ratio is an upper bound
+         on the true one (off would only grow), so counting it is
+         conservative in the direction we report. *)
+      let node_ratio =
+        if on_done && off_n > 0 then begin
+          let r = float_of_int (on_n + 1) /. float_of_int (off_n + 1) in
+          node_ratios := r :: !node_ratios;
+          Some r
+        end
+        else None
+      in
+      let time_ratio =
+        if off_done && on_done && off_t > 0.0 then Some (on_t /. off_t)
+        else None
+      in
+      let show fmt r =
+        match r with Some r -> Printf.sprintf fmt r | None -> "n/a"
+      in
+      Format.printf "  %-28s %9d %-8s %9d %-8s %8s  %5s@." name off_n
+        (verdict off_o) on_n (verdict on_o)
+        (show "%.2g" node_ratio)
+        (show "%.2f" time_ratio);
+      rows :=
+        Printf.sprintf
+          "{\"instance\":\"%s\",\
+           \"off\":{\"outcome\":\"%s\",\"nodes\":%d,\"elapsed_s\":%.6f},\
+           \"on\":{\"outcome\":\"%s\",\"nodes\":%d,\"elapsed_s\":%.6f,\
+           \"bounds\":%s},\
+           \"node_ratio\":%s,\"node_ratio_is_bound\":%b,\"time_ratio\":%s}"
+          name (verdict off_o) off_n off_t (verdict on_o) on_n on_t
+          (Packing.Telemetry.to_string
+             (Packing.Telemetry.bounds_to_json on_s.Packing.Opp_solver.bounds))
+          (match node_ratio with
+          | Some r -> Printf.sprintf "%.3e" r
+          | None -> "null")
+          (node_ratio <> None && not off_done)
+          (match time_ratio with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "null")
+        :: !rows)
+    (bounds_cases ());
+  let geomean =
+    match !node_ratios with
+    | [] -> None
+    | rs ->
+      let log_sum = List.fold_left (fun a r -> a +. log r) 0.0 rs in
+      Some (exp (log_sum /. float_of_int (List.length rs)))
+  in
+  (match geomean with
+  | Some g -> Format.printf "  geometric-mean node ratio (on/off): %.3g@." g
+  | None -> Format.printf "  (no measurable pair: node ratios omitted)@.");
+  let oc = open_out "BENCH_bounds.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\"node_limit\":%d,\"note\":\"search-only stage 3, sequential, \
+        heuristic off; off = no engine (no stage-1, node_bounds never), on = \
+        stage-1 root check + adaptive node bounds; nodes deterministic, time \
+        = min of 2 runs; node_ratio uses +1 smoothing and is an upper bound \
+        when the off side hit the node cap\",\
+        \"geomean_node_ratio\":%s,\"cases\":[\n\
+        %s\n\
+        ]}\n"
+       node_limit
+       (match geomean with
+       | Some g -> Printf.sprintf "%.4e" g
+       | None -> "null")
+       (String.concat ",\n" (List.rev !rows)));
+  close_out oc;
+  Format.printf "  wrote BENCH_bounds.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table / figure         *)
 (* ------------------------------------------------------------------ *)
 
@@ -715,6 +912,7 @@ let () =
       ("parallel", parallel_bench);
       ("parallel-calibrate", parallel_calibrate);
       ("engine", engine_bench);
+      ("bounds", bounds_bench);
       ("bechamel", run_bechamel);
     ]
   in

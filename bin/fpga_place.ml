@@ -122,20 +122,42 @@ let realize_opt =
                  leaf checks only). The verdict is identical under every \
                  policy; only the search speed changes.")
 
-let options_with_deadline time_limit realize =
-  let realize =
-    match realize with
-    | `Adaptive -> Packing.Opp_solver.default_realize
-    | `Always -> Packing.Opp_solver.Realize_always
-    | `Never -> Packing.Opp_solver.Realize_never
+let node_bounds_opt =
+  Arg.(value
+       & opt (enum [ ("adaptive", `Adaptive); ("always", `Always); ("never", `Never) ])
+           `Adaptive
+       & info [ "node-bounds" ] ~docv:"POLICY"
+           ~doc:"Throttle for the in-search bound-engine check on the \
+                 committed time arcs of the current node: adaptive \
+                 (default; check only once enough pairs are decided, with \
+                 exponential backoff on silent verdicts), always (every \
+                 node), or never (root bounds only). The engine emits exact \
+                 certificates, so the verdict is identical under every \
+                 policy; only the search speed changes.")
+
+let options_with_deadline time_limit realize node_bounds =
+  let policy = function
+    | `Adaptive -> None
+    | `Always -> Some Packing.Opp_solver.Realize_always
+    | `Never -> Some Packing.Opp_solver.Realize_never
   in
-  let options = { Packing.Opp_solver.default_options with realize } in
+  let realize =
+    Option.value (policy realize) ~default:Packing.Opp_solver.default_realize
+  in
+  let node_bounds =
+    Option.value (policy node_bounds)
+      ~default:Packing.Opp_solver.default_node_bounds
+  in
+  let options =
+    { Packing.Opp_solver.default_options with realize; node_bounds }
+  in
   match time_limit with
   | None -> options
   | Some s -> { options with deadline = Some (Unix.gettimeofday () +. s) }
 
 let solve_cmd =
-  let run file chip time render quiet svg jobs time_limit stats realize =
+  let run file chip time render quiet svg jobs time_limit stats realize
+      node_bounds =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
@@ -144,7 +166,7 @@ let solve_cmd =
       | Ok chip, Ok t_max -> (
         let inst = io.Fpga.Instance_io.instance in
         let container = Fpga.Chip.container chip ~t_max in
-        let options = options_with_deadline time_limit realize in
+        let options = options_with_deadline time_limit realize node_bounds in
         let finish outcome pp_report =
           match outcome with
           | Packing.Opp_solver.Feasible p ->
@@ -183,7 +205,8 @@ let solve_cmd =
   let doc = "Decide feasibility of a placement (FeasAT&FindS)." in
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(const run $ file_arg $ chip_opt $ time_opt $ render_flag $ quiet_flag
-          $ svg_opt $ jobs_opt $ time_limit_opt $ stats_opt $ realize_opt)
+          $ svg_opt $ jobs_opt $ time_limit_opt $ stats_opt $ realize_opt
+          $ node_bounds_opt)
 
 (* Collect the probe trace for --stats json; the returned callback is
    handed to the Problems driver as [on_probe]. *)
@@ -217,10 +240,18 @@ let anytime_stats_json ~problem ~value_json result probes =
           ("status", String (Packing.Problems.status_string result));
         ]
        @ fields
-       @ [ ("probes", List (List.map Packing.Problems.probe_json probes)) ]))
+       @ [
+           ("probes", List (List.map Packing.Problems.probe_json probes));
+           ( "bounds",
+             bounds_to_json
+               (List.fold_left
+                  (fun acc (p : Packing.Problems.probe) ->
+                    add_bound_counters acc p.Packing.Problems.bounds)
+                  [] probes) );
+         ]))
 
 let min_time_cmd =
-  let run file chip render quiet jobs time_limit stats realize =
+  let run file chip render quiet jobs time_limit stats realize node_bounds =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
@@ -228,7 +259,7 @@ let min_time_cmd =
       | Error msg -> err msg
       | Ok chip ->
         let inst = io.Fpga.Instance_io.instance in
-        let options = options_with_deadline time_limit realize in
+        let options = options_with_deadline time_limit realize node_bounds in
         let probes, on_probe = probe_collector () in
         let result =
           Packing.Problems.minimize_time ~options ~jobs ~on_probe inst
@@ -267,10 +298,10 @@ let min_time_cmd =
   let doc = "Minimize the makespan on a fixed chip (MinT&FindS / SPP)." in
   Cmd.v (Cmd.info "min-time" ~doc)
     Term.(const run $ file_arg $ chip_opt $ render_flag $ quiet_flag $ jobs_opt
-          $ time_limit_opt $ stats_opt $ realize_opt)
+          $ time_limit_opt $ stats_opt $ realize_opt $ node_bounds_opt)
 
 let min_area_cmd =
-  let run file time render quiet jobs time_limit stats realize =
+  let run file time render quiet jobs time_limit stats realize node_bounds =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
@@ -278,7 +309,7 @@ let min_area_cmd =
       | Error msg -> err msg
       | Ok t_max ->
         let inst = io.Fpga.Instance_io.instance in
-        let options = options_with_deadline time_limit realize in
+        let options = options_with_deadline time_limit realize node_bounds in
         let probes, on_probe = probe_collector () in
         let result =
           Packing.Problems.minimize_base ~options ~jobs ~on_probe inst ~t_max
@@ -318,7 +349,7 @@ let min_area_cmd =
   let doc = "Minimize a quadratic chip for a time budget (MinA&FindS / BMP)." in
   Cmd.v (Cmd.info "min-area" ~doc)
     Term.(const run $ file_arg $ time_opt $ render_flag $ quiet_flag $ jobs_opt
-          $ time_limit_opt $ stats_opt $ realize_opt)
+          $ time_limit_opt $ stats_opt $ realize_opt $ node_bounds_opt)
 
 let pareto_cmd =
   let h_min_arg =
@@ -341,7 +372,7 @@ let pareto_cmd =
       let inst =
         if no_prec then Packing.Instance.without_precedence inst else inst
       in
-      let options = options_with_deadline time_limit `Adaptive in
+      let options = options_with_deadline time_limit `Adaptive `Adaptive in
       let probes, on_probe = probe_collector () in
       let { Packing.Problems.points; complete } =
         Packing.Problems.pareto_front ~options ~jobs ~on_probe inst ~h_min
@@ -481,7 +512,7 @@ let check_cmd =
           $ render_flag $ quiet_flag)
 
 let bounds_cmd =
-  let run file chip time =
+  let run file chip time stats =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
@@ -490,28 +521,57 @@ let bounds_cmd =
       | Ok chip, Ok t_max ->
         let inst = io.Fpga.Instance_io.instance in
         let container = Fpga.Chip.container chip ~t_max in
+        let engine = Packing.Bound_engine.create () in
+        let verdicts = Packing.Bound_engine.run_all engine inst container in
         Format.printf "volume: %d of %d cells-cycles@."
           (Packing.Instance.total_volume inst)
           (Geometry.Container.volume container);
         Format.printf "critical path: %d of %d cycles@."
           (Packing.Instance.critical_path inst)
           t_max;
-        Format.printf "spatial exclusion duration: %d cycles@."
-          (Packing.Bounds.exclusion_duration inst container);
-        (match Packing.Bounds.dff_volume_exceeded inst container with
-        | Some certificate -> Format.printf "DFF overflow: %s@." certificate
-        | None -> Format.printf "DFF bounds: silent@.");
-        (match Packing.Bounds.check inst container with
-        | Packing.Bounds.Infeasible reason ->
-          Format.printf "verdict: infeasible (%s)@." reason;
+        List.iter
+          (fun (name, v) ->
+            Format.printf "%-14s %a@." name Packing.Bound_engine.pp_verdict v)
+          verdicts;
+        let refuted =
+          List.exists
+            (fun (_, v) ->
+              match v with
+              | Packing.Bound_engine.Infeasible _ -> true
+              | Packing.Bound_engine.Lower_bound _
+              | Packing.Bound_engine.Inconclusive -> false)
+            verdicts
+        in
+        (match stats with
+        | Some `Json ->
+          let open Packing.Telemetry in
+          Format.printf "%s@."
+            (to_string
+               (Obj
+                  [
+                    ("problem", String "bounds");
+                    ( "verdicts",
+                      Obj
+                        (List.map
+                           (fun (name, v) ->
+                             (name, Packing.Bound_engine.verdict_json v))
+                           verdicts) );
+                    ( "bounds",
+                      bounds_to_json (Packing.Bound_engine.counters engine) );
+                  ]))
+        | Some `Text | None -> ());
+        if refuted then begin
+          Format.printf "verdict: infeasible@.";
           2
-        | Packing.Bounds.Unknown ->
+        end
+        else begin
           Format.printf "verdict: bounds are silent, a search is needed@.";
-          0))
+          0
+        end)
   in
   let doc = "Evaluate the stage-1 lower bounds without searching." in
   Cmd.v (Cmd.info "bounds" ~doc)
-    Term.(const run $ file_arg $ chip_opt $ time_opt)
+    Term.(const run $ file_arg $ chip_opt $ time_opt $ stats_opt)
 
 let knapsack_cmd =
   let run file chip time =

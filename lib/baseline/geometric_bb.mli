@@ -26,13 +26,17 @@ type stats = {
   positions_tried : int;
 }
 
-(** [solve ?node_limit instance container] decides feasibility by
-    geometric enumeration. The limit counts explored partial placements
-    {e plus} tried anchor positions (positions dominate the cost on
-    large containers). The witness is validated before being
-    returned. *)
+(** [solve ?node_limit ?use_bounds instance container] decides
+    feasibility by geometric enumeration. The limit counts explored
+    partial placements {e plus} tried anchor positions (positions
+    dominate the cost on large containers). The witness is validated
+    before being returned. [use_bounds] (default [false]) runs the
+    shared {!Packing.Bound_engine} as a stage-1 pre-check first; it is
+    off by default so the ablation benchmark keeps measuring the raw
+    enumeration. *)
 val solve :
   ?node_limit:int ->
+  ?use_bounds:bool ->
   Packing.Instance.t ->
   Geometry.Container.t ->
   outcome * stats

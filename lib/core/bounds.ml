@@ -1,173 +1,27 @@
+(* Stage-1 facade over the composable Bound_engine. The historical API
+   (used by tests, examples, and external callers) is preserved; all
+   bound implementations live in Bound_engine, which also serves the
+   in-search, driver, and parallel layers. *)
+
 module Container = Geometry.Container
 
 type verdict =
   | Unknown
   | Infeasible of string
 
-let volume_exceeded inst container =
-  Instance.total_volume inst > Container.volume container
-
-let misfit inst container =
-  let d = Instance.dim inst in
-  let bad = ref None in
-  for i = Instance.count inst - 1 downto 0 do
-    let fits = ref true in
-    for k = 0 to d - 1 do
-      if Instance.extent inst i k > Container.extent container k then
-        fits := false
-    done;
-    if not !fits then bad := Some i
-  done;
-  !bad
-
-let critical_path_exceeded inst container =
-  Instance.critical_path inst
-  > Container.extent container (Instance.time_axis inst)
-
-(* Two tasks exclude each other when they overflow the container in
-   every spatial axis — they can never run simultaneously, regardless of
-   placement. A clique of pairwise exclusion must serialize in time. *)
-let exclusion_duration inst container =
-  let n = Instance.count inst in
-  let ta = Instance.time_axis inst in
-  let g = Graphlib.Undirected.create n in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let excl = ref true in
-      for k = 0 to ta - 1 do
-        if
-          Instance.extent inst i k + Instance.extent inst j k
-          <= Container.extent container k
-        then excl := false
-      done;
-      if !excl then Graphlib.Undirected.add_edge g i j
-    done
-  done;
-  fst
-    (Graphlib.Cliques.max_weight_clique g ~weight:(fun i ->
-         Instance.duration inst i))
-
-let f_eps ~eps ~w_max w =
-  if eps <= 0 || 2 * eps > w_max then invalid_arg "Bounds.f_eps: bad eps";
-  if w < 0 || w > w_max then invalid_arg "Bounds.f_eps: w out of range";
-  if w > w_max - eps then w_max else if w < eps then 0 else w
-
-let u_k ~k ~w_max w =
-  if k < 1 then invalid_arg "Bounds.u_k: k < 1";
-  if w < 0 || w > w_max then invalid_arg "Bounds.u_k: w out of range";
-  if (k + 1) * w mod w_max = 0 then k * w else w_max * ((k + 1) * w / w_max)
-
-(* A per-axis transformation: a DFF applied to the box extents along one
-   axis, with the corresponding transformed container extent. A product
-   of DFFs across axes preserves packability (Fekete & Schepers), so an
-   overflow of the composed transformed volume disproves the packing. *)
-type transform = {
-  describe : string;
-  apply : int -> int; (* transformed box extent along this axis *)
-  target : int; (* transformed container extent along this axis *)
-}
-
-let axis_transforms inst container axis =
-  let w_max = Container.extent container axis in
-  let identity =
-    { describe = "id"; apply = Fun.id; target = w_max }
-  in
-  let epss =
-    (* Thresholds where the f_eps behaviour changes are the distinct
-       box extents; testing those (clamped to w_max/2) is exhaustive
-       up to equivalence. *)
-    List.sort_uniq compare
-      (List.concat
-         (List.init (Instance.count inst) (fun i ->
-              let e = Instance.extent inst i axis in
-              List.filter
-                (fun x -> x > 0 && 2 * x <= w_max)
-                [ e; w_max - e; w_max / 2 ])))
-  in
-  let f_transforms =
-    List.map
-      (fun eps ->
-        {
-          describe = Printf.sprintf "f_eps(%d)" eps;
-          apply = (fun w -> f_eps ~eps ~w_max w);
-          target = w_max;
-        })
-      epss
-  in
-  let u_transforms =
-    List.init 4 (fun j ->
-        let k = j + 1 in
-        {
-          describe = Printf.sprintf "u^(%d)" k;
-          apply = (fun w -> u_k ~k ~w_max w);
-          target = k * w_max;
-        })
-  in
-  identity :: (f_transforms @ u_transforms)
-
-let transformed_volume_exceeded inst choice =
-  let d = Instance.dim inst in
-  let total = ref 0 in
-  for i = 0 to Instance.count inst - 1 do
-    let v = ref 1 in
-    for k = 0 to d - 1 do
-      v := !v * choice.(k).apply (Instance.extent inst i k)
-    done;
-    total := !total + !v
-  done;
-  let cap = ref 1 in
-  for k = 0 to d - 1 do
-    cap := !cap * choice.(k).target
-  done;
-  !total > !cap
-
-let dff_volume_exceeded inst container =
-  let d = Instance.dim inst in
-  let per_axis = Array.init d (fun k -> axis_transforms inst container k) in
-  let choice = Array.make d (List.hd per_axis.(0)) in
-  let found = ref None in
-  (* Enumerate the Cartesian product of per-axis transforms (identity
-     included), cheapest combinations first by construction order. *)
-  let rec enumerate k =
-    if !found <> None then ()
-    else if k = d then begin
-      if transformed_volume_exceeded inst choice then
-        found :=
-          Some
-            (String.concat " * "
-               (List.mapi
-                  (fun i tr -> Printf.sprintf "%s on axis %d" tr.describe i)
-                  (Array.to_list choice)))
-    end
-    else
-      List.iter
-        (fun tr ->
-          if !found = None then begin
-            choice.(k) <- tr;
-            enumerate (k + 1)
-          end)
-        per_axis.(k)
-  in
-  enumerate 0;
-  !found
+let volume_exceeded = Bound_engine.volume_exceeded
+let misfit = Bound_engine.misfit
+let critical_path_exceeded = Bound_engine.critical_path_exceeded
+let exclusion_duration = Bound_engine.exclusion_duration
+let f_eps = Bound_engine.f_eps
+let u_k = Bound_engine.u_k
+let dff_volume_exceeded = Bound_engine.dff_volume_exceeded
 
 let check inst container =
   if Container.dim container <> Instance.dim inst then
     invalid_arg "Bounds.check: dimension mismatch";
-  match misfit inst container with
-  | Some i ->
-    Infeasible (Printf.sprintf "task %d does not fit the container" i)
-  | None ->
-    if volume_exceeded inst container then
-      Infeasible "total volume exceeds the container"
-    else if critical_path_exceeded inst container then
-      Infeasible "critical path exceeds the time bound"
-    else if
-      exclusion_duration inst container
-      > Container.extent container (Instance.time_axis inst)
-    then Infeasible "a spatial exclusion clique exceeds the time bound"
-    else begin
-      match dff_volume_exceeded inst container with
-      | Some descr -> Infeasible ("DFF volume bound: " ^ descr)
-      | None -> Unknown
-    end
+  let engine = Bound_engine.create () in
+  match Bound_engine.check engine inst container with
+  | Bound_engine.Infeasible { bound; detail } ->
+    Infeasible (Printf.sprintf "%s: %s" bound detail)
+  | Bound_engine.Lower_bound _ | Bound_engine.Inconclusive -> Unknown

@@ -42,14 +42,41 @@ let solve ?options inst cont ~value =
   in
   let best = ref None in
   let best_value = ref 0 in
+  (* One bound engine for the whole selection search: a certificate on a
+     sub-instance refutes it (and, by monotonicity, every extension)
+     without paying for a solver call. The solve behind a surviving
+     selection skips its own stage-1 re-check. *)
+  let engine_enabled =
+    match options with
+    | None -> true
+    | Some o -> o.Opp_solver.use_bounds
+  in
+  let engine = if engine_enabled then Some (Bound_engine.create ()) else None in
+  let probe_options =
+    match engine with
+    | None -> options
+    | Some _ ->
+      let o = Option.value options ~default:Opp_solver.default_options in
+      Some { o with Opp_solver.use_bounds = false }
+  in
   let feasible selection =
     match selection with
     | [] -> None
     | _ -> (
       let sub = sub_instance inst (List.sort compare selection) in
-      match Opp_solver.solve ?options sub cont with
-      | Opp_solver.Feasible placement, _ -> Some placement
-      | Opp_solver.Infeasible, _ | Opp_solver.Timeout, _ -> None)
+      let refuted =
+        match engine with
+        | None -> false
+        | Some e -> (
+          match Bound_engine.check e sub cont with
+          | Bound_engine.Infeasible _ -> true
+          | Bound_engine.Lower_bound _ | Bound_engine.Inconclusive -> false)
+      in
+      if refuted then None
+      else
+        match Opp_solver.solve ?options:probe_options sub cont with
+        | Opp_solver.Feasible placement, _ -> Some placement
+        | Opp_solver.Infeasible, _ | Opp_solver.Timeout, _ -> None)
   in
   (* DFS over down-closed selections. [selection] holds chosen original
      indices; [chosen] marks them; [rest] is the tail of [order];

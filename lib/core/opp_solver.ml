@@ -12,6 +12,7 @@ type stats = {
   by_bounds : bool;
   by_heuristic : bool;
   rules : Telemetry.rule_counters;
+  bounds : Telemetry.bound_counters;
 }
 
 type realize_policy =
@@ -33,11 +34,16 @@ type options = {
   on_progress : (stats -> unit) option;
   component_first : bool;
   realize : realize_policy;
+  node_bounds : realize_policy;
 }
 
 let default_realize =
   Realize_adaptive
     { min_decided_fraction = 0.4; min_trail_delta = 8; backoff_limit = 64 }
+
+let default_node_bounds =
+  Realize_adaptive
+    { min_decided_fraction = 0.15; min_trail_delta = 12; backoff_limit = 256 }
 
 let default_options =
   {
@@ -50,6 +56,7 @@ let default_options =
     on_progress = None;
     component_first = true;
     realize = default_realize;
+    node_bounds = default_node_bounds;
   }
 
 exception Found of Geometry.Placement.t
@@ -65,7 +72,7 @@ let progress_mask = 1023
    threaded through references so [solve] and [solve_state] share the
    code; [depth_offset] lets a caller account for decisions replayed
    into [state] before the search started. *)
-let search ~options ~t0 ~depth_offset state =
+let search ~options ~t0 ~depth_offset ?(bounds0 = []) state =
   let nodes = ref 0 and conflicts = ref 0 and leaves = ref 0 in
   let max_depth = ref depth_offset in
   let realize_attempts = ref 0 and realize_time = ref 0.0 in
@@ -75,12 +82,27 @@ let search ~options ~t0 ~depth_offset state =
   let last_attempt_trail = ref (min_int / 2) in
   let last_attempt_node = ref (min_int / 2) in
   let consec_failures = ref 0 in
+  (* The node-level bound engine, with its own throttle state. One
+     engine per search keeps the per-bound counters domain-local. *)
+  let engine =
+    match options.node_bounds with
+    | Realize_never -> None
+    | _ -> Some (Bound_engine.create ())
+  in
+  let last_bound_trail = ref (min_int / 2) in
+  let last_bound_node = ref (min_int / 2) in
+  let consec_bound_failures = ref 0 in
   let rules_snapshot () =
     {
       (Packing_state.rule_counters state) with
       Telemetry.realize_attempts = !realize_attempts;
       realize_time_s = !realize_time;
     }
+  in
+  let bounds_snapshot () =
+    match engine with
+    | None -> bounds0
+    | Some e -> Telemetry.add_bound_counters bounds0 (Bound_engine.counters e)
   in
   let snapshot ~by_bounds ~by_heuristic =
     {
@@ -92,6 +114,7 @@ let search ~options ~t0 ~depth_offset state =
       by_bounds;
       by_heuristic;
       rules = rules_snapshot ();
+      bounds = bounds_snapshot ();
     }
   in
   let finish outcome ~by_bounds ~by_heuristic =
@@ -126,10 +149,52 @@ let search ~options ~t0 ~depth_offset state =
       && !nodes - !last_attempt_node
          >= min backoff_limit (1 lsl min !consec_failures 20)
   in
+  let should_check_bounds () =
+    match options.node_bounds with
+    | Realize_always -> engine <> None
+    | Realize_never -> false
+    | Realize_adaptive { min_decided_fraction; min_trail_delta; backoff_limit }
+      ->
+      engine <> None
+      && Packing_state.decided_fraction state >= min_decided_fraction
+      && abs (Packing_state.total_trail state - !last_bound_trail)
+         >= min_trail_delta
+      && !nodes - !last_bound_node
+         >= min backoff_limit (1 lsl min !consec_bound_failures 20)
+  in
+  (* Engine check on the committed time-axis arcs of the current node.
+     Any arc of the orientation holds in every completion of the node,
+     so an [Infeasible] verdict refutes the whole subtree — including
+     subtrees the C2 clique check cannot cut, e.g. by energetic
+     reasoning over start-time windows. *)
+  let node_refuted () =
+    if not (should_check_bounds ()) then false
+    else begin
+      last_bound_node := !nodes;
+      last_bound_trail := Packing_state.total_trail state;
+      let e = Option.get engine in
+      let refuted =
+        match
+          Bound_engine.check_oriented e
+            (Packing_state.instance state)
+            (Packing_state.container state)
+            ~sequencing:(Packing_state.time_sequencing state)
+        with
+        | Bound_engine.Infeasible _ -> true
+        | Bound_engine.Lower_bound _ | Bound_engine.Inconclusive -> false
+      in
+      if refuted then consec_bound_failures := 0
+      else incr consec_bound_failures;
+      refuted
+    end
+  in
   let rec dfs depth =
     incr nodes;
     if depth > !max_depth then max_depth := depth;
     check_budget ();
+    if node_refuted () then incr conflicts
+    else dfs_body depth
+  and dfs_body depth =
     (* Early realization: if the decided part of the class already
        forces a feasible layout, stop — the validator guarantees
        soundness, undecided pairs merely lose their "must overlap"
@@ -189,6 +254,22 @@ let solve_state ?(options = default_options) ?(depth_offset = 0) state =
 
 let solve ?(options = default_options) ?schedule inst cont =
   let t0 = Unix.gettimeofday () in
+  (* Stage 1: try to disprove existence by bounds. The engine's counters
+     are threaded into the final stats whatever stage settles the
+     instance. *)
+  let root_engine =
+    if options.use_bounds then Some (Bound_engine.create ()) else None
+  in
+  let root_verdict =
+    match root_engine with
+    | None -> Bound_engine.Inconclusive
+    | Some e -> Bound_engine.check e inst cont
+  in
+  let bounds0 =
+    match root_engine with
+    | None -> []
+    | Some e -> Bound_engine.counters e
+  in
   let finish outcome ~conflicts ~by_bounds ~by_heuristic =
     ( outcome,
       {
@@ -200,12 +281,13 @@ let solve ?(options = default_options) ?schedule inst cont =
         by_bounds;
         by_heuristic;
         rules = Telemetry.zero_rules;
+        bounds = bounds0;
       } )
   in
-  (* Stage 1: try to disprove existence by bounds. *)
-  if options.use_bounds && Bounds.check inst cont <> Bounds.Unknown then
+  match root_verdict with
+  | Bound_engine.Infeasible _ ->
     finish Infeasible ~conflicts:0 ~by_bounds:true ~by_heuristic:false
-  else begin
+  | Bound_engine.Lower_bound _ | Bound_engine.Inconclusive -> begin
     (* Stage 2: try to construct a packing heuristically. A fixed
        schedule disables this stage: the heuristic would pick its own
        start times, which is not the question being asked. *)
@@ -222,7 +304,7 @@ let solve ?(options = default_options) ?schedule inst cont =
       match Packing_state.create ~rules:options.rules ?schedule inst cont with
       | Error _ ->
         finish Infeasible ~conflicts:1 ~by_bounds:false ~by_heuristic:false
-      | Ok state -> search ~options ~t0 ~depth_offset:0 state)
+      | Ok state -> search ~options ~t0 ~depth_offset:0 ~bounds0 state)
   end
 
 let feasible ?options ?schedule inst cont =
@@ -254,6 +336,7 @@ let stats_json s =
       ("by_bounds", Telemetry.Bool s.by_bounds);
       ("by_heuristic", Telemetry.Bool s.by_heuristic);
       ("rules", Telemetry.rules_to_json s.rules);
+      ("bounds", Telemetry.bounds_to_json s.bounds);
     ]
 
 let stats_to_json s = Telemetry.to_string (stats_json s)
@@ -268,6 +351,7 @@ let merge_stats a b =
     by_bounds = a.by_bounds || b.by_bounds;
     by_heuristic = a.by_heuristic || b.by_heuristic;
     rules = Telemetry.add_rules a.rules b.rules;
+    bounds = Telemetry.add_bound_counters a.bounds b.bounds;
   }
 
 let empty_stats =
@@ -280,4 +364,5 @@ let empty_stats =
     by_bounds = false;
     by_heuristic = false;
     rules = Telemetry.zero_rules;
+    bounds = [];
   }

@@ -31,6 +31,10 @@ type stats = {
       (** where propagation time went: per-rule call/time counters plus
           the realization attempt count (opportunistic per-node tries
           and exact leaf checks combined) *)
+  bounds : Telemetry.bound_counters;
+      (** per-bound call/time/prune counters from the {!Bound_engine}:
+          the stage-1 root check plus the throttled in-search node
+          checks (see {!options.node_bounds}) *)
 }
 
 (** When the search runs the opportunistic budget-limited realization
@@ -82,9 +86,18 @@ type options = {
   realize : realize_policy;
       (** throttle for the per-node realization attempt; defaults to
           {!default_realize} (adaptive) *)
+  node_bounds : realize_policy;
+      (** throttle for the in-search {!Bound_engine} check on the
+          committed time-axis arcs of the current node (precedence plus
+          branching decisions). An [Infeasible] verdict refutes the
+          whole subtree — these are exact certificates, so any policy
+          returns the same final verdict; the policy only trades extra
+          pruning against per-node overhead. Defaults to
+          {!default_node_bounds} (adaptive). *)
 }
 
 val default_options : options
+val default_node_bounds : realize_policy
 
 (** [solve ?options ?schedule instance container] decides whether the
     tasks fit into the container while respecting the precedence order.

@@ -99,6 +99,8 @@ let symmetric_pairs inst =
 let instance t = t.inst
 let container t = t.cont
 let dimension t k = t.dims.(k)
+
+let time_sequencing t = OG.orientation t.dims.(Instance.time_axis t.inst)
 let propagations t = t.propagations
 let mark t = Array.map OG.mark t.dims
 

@@ -63,6 +63,14 @@ val container : t -> Geometry.Container.t
     re-run {!stabilize}). *)
 val dimension : t -> int -> Order.Oriented_graph.t
 
+(** The committed time-axis arcs at the current node, as a fresh
+    digraph: the orientation of the time dimension's comparability
+    edges — precedence seeds plus every branching decision so far.
+    Every arc holds in all completions of the node, which is what makes
+    it a sound sequencing argument for the dynamic bounds of
+    {!Bound_engine}. O(n^2) per call; callers throttle. *)
+val time_sequencing : t -> Graphlib.Digraph.t
+
 (** Marks for all dimensions at once. *)
 val mark : t -> int array
 

@@ -48,10 +48,30 @@ let split_root ?(options = Opp_solver.default_options) ?schedule ~depth inst
   with
   | Error reason -> Root_infeasible reason
   | Ok st ->
+    (* Prune surviving prefixes with the bound engine before they are
+       dispatched to a domain: an [Infeasible] verdict on the committed
+       time arcs is an exact refutation of the whole subtree, so
+       dropping the prefix preserves the union of outcomes. *)
+    let engine =
+      match options.Opp_solver.node_bounds with
+      | Opp_solver.Realize_never -> None
+      | _ -> Some (Bound_engine.create ())
+    in
+    let refuted () =
+      match engine with
+      | None -> false
+      | Some e -> (
+        match
+          Bound_engine.check_oriented e inst cont
+            ~sequencing:(Packing_state.time_sequencing st)
+        with
+        | Bound_engine.Infeasible _ -> true
+        | Bound_engine.Lower_bound _ | Bound_engine.Inconclusive -> false)
+    in
     let acc = ref [] in
     let rec go prefix d =
       match if d = 0 then None else Packing_state.choose_unknown st with
-      | None -> acc := List.rev prefix :: !acc
+      | None -> if not (refuted ()) then acc := List.rev prefix :: !acc
       | Some (dim, u, v) ->
         let branch overlap =
           let marks = Packing_state.mark st in
@@ -118,6 +138,22 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
     let stats = { stats with Opp_solver.elapsed = Unix.gettimeofday () -. t0 } in
     { outcome; stats; workers; subproblems; jobs }
   in
+  (* Stages 1 and 2 run once, sequentially — they are cheap and settle
+     most easy instances before any domain is spawned. *)
+  let root_engine =
+    if options.Opp_solver.use_bounds then Some (Bound_engine.create ())
+    else None
+  in
+  let root_verdict =
+    match root_engine with
+    | None -> Bound_engine.Inconclusive
+    | Some e -> Bound_engine.check e inst cont
+  in
+  let bounds0 =
+    match root_engine with
+    | None -> []
+    | Some e -> Bound_engine.counters e
+  in
   let prestage_report outcome ~conflicts ~by_bounds ~by_heuristic =
     finish outcome
       {
@@ -125,15 +161,15 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
         Opp_solver.conflicts;
         by_bounds;
         by_heuristic;
+        bounds = bounds0;
       }
       [] ~subproblems:0
   in
-  (* Stages 1 and 2 run once, sequentially — they are cheap and settle
-     most easy instances before any domain is spawned. *)
-  if options.Opp_solver.use_bounds && Bounds.check inst cont <> Bounds.Unknown
-  then prestage_report Opp_solver.Infeasible ~conflicts:0 ~by_bounds:true
+  match root_verdict with
+  | Bound_engine.Infeasible _ ->
+    prestage_report Opp_solver.Infeasible ~conflicts:0 ~by_bounds:true
       ~by_heuristic:false
-  else begin
+  | Bound_engine.Lower_bound _ | Bound_engine.Inconclusive -> begin
     let heuristic_hit =
       if
         options.Opp_solver.use_heuristic
@@ -324,7 +360,8 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
         let merged =
           List.fold_left
             (fun acc (w : worker_report) -> Opp_solver.merge_stats acc w.stats)
-            Opp_solver.empty_stats workers
+            { Opp_solver.empty_stats with Opp_solver.bounds = bounds0 }
+            workers
         in
         let outcome =
           match Atomic.get witness with

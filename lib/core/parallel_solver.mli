@@ -73,9 +73,12 @@ type report = {
 }
 
 (** [split_root ?options ?schedule ~depth instance container] computes
-    the depth-[depth] frontier of the sequential search tree. Exposed
-    for tests: the union of the subproblems' outcomes equals the
-    unsplit outcome, and no decision ever touches a precedence arc of
+    the depth-[depth] frontier of the sequential search tree. Unless
+    [options.node_bounds] is [Realize_never], each surviving prefix is
+    additionally checked by the {!Bound_engine} on its committed time
+    arcs and dropped when refuted — an exact certificate, so the union
+    of the subproblems' outcomes still equals the unsplit outcome.
+    Exposed for tests: no decision ever touches a precedence arc of
     the DAG (those are pre-decided at state creation). *)
 val split_root :
   ?options:Opp_solver.options ->

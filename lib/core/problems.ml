@@ -31,9 +31,10 @@ type probe = {
   verdict : [ `Feasible | `Infeasible | `Timeout ];
   nodes : int;
   elapsed_s : float;
+  bounds : Telemetry.bound_counters;
 }
 
-let probe_json { target; verdict; nodes; elapsed_s } =
+let probe_json { target; verdict; nodes; elapsed_s; bounds } =
   Telemetry.Obj
     [
       ( "container",
@@ -48,6 +49,7 @@ let probe_json { target; verdict; nodes; elapsed_s } =
           | `Timeout -> "timeout") );
       ("nodes", Telemetry.Int nodes);
       ("elapsed_s", Telemetry.seconds elapsed_s);
+      ("bounds", Telemetry.bounds_to_json bounds);
     ]
 
 type feasibility =
@@ -75,6 +77,15 @@ type ctx = {
   jobs : int;
   on_probe : (probe -> unit) option;
   budget : budget;
+  engine : Bound_engine.t option;
+      (* shared across all probes of one optimization run when the
+         caller enabled stage-1 bounds; engine checks are certificates,
+         not searches, so they are never charged to the budget *)
+  mutable engine_seen : Telemetry.bound_counters;
+      (* counter snapshot at the last emitted probe; the delta since
+         then (pre-checks, bracket walks, free refutations of skipped
+         sizes) is attributed to the next probe record, so the shared
+         engine's work reaches the [--stats json] surfaces *)
 }
 
 let make_ctx ?(options = Opp_solver.default_options) ?(jobs = 1) ?on_probe () =
@@ -88,6 +99,10 @@ let make_ctx ?(options = Opp_solver.default_options) ?(jobs = 1) ?on_probe () =
         nodes_left = options.Opp_solver.node_limit;
         hit = false;
       };
+    engine =
+      (if options.Opp_solver.use_bounds then Some (Bound_engine.create ())
+       else None);
+    engine_seen = [];
   }
 
 let exhausted b =
@@ -109,12 +124,27 @@ let run_probe ?schedule ctx cont inst =
     ctx.budget.hit <- true;
     `Timeout
   end
+  else if
+    (* Skip provably-infeasible probes: an engine certificate answers
+       the probe for free — no budget charge, no probe event. The engine
+       ignores [schedule], which only adds constraints, so a refutation
+       of the unscheduled instance refutes the scheduled one too. *)
+    match ctx.engine with
+    | None -> false
+    | Some e -> (
+      match Bound_engine.check e inst cont with
+      | Bound_engine.Infeasible _ -> true
+      | Bound_engine.Lower_bound _ | Bound_engine.Inconclusive -> false)
+  then `Infeasible
   else begin
     let options =
       {
         ctx.options with
         Opp_solver.node_limit = ctx.budget.nodes_left;
         deadline = ctx.budget.deadline;
+        (* The engine pre-check above just ran stage 1; don't pay for it
+           again inside the probe. *)
+        use_bounds = ctx.options.Opp_solver.use_bounds && ctx.engine = None;
       }
     in
     let outcome, stats =
@@ -133,6 +163,18 @@ let run_probe ?schedule ctx cont inst =
     (match ctx.on_probe with
     | None -> ()
     | Some f ->
+      (* The shared engine answers some probes for free (skip branch
+         above) and seeds brackets outside any probe; fold everything it
+         did since the last emitted probe into this record. *)
+      let engine_delta =
+        match ctx.engine with
+        | None -> []
+        | Some e ->
+          let now = Bound_engine.counters e in
+          let d = Telemetry.sub_bound_counters now ctx.engine_seen in
+          ctx.engine_seen <- now;
+          d
+      in
       f
         {
           target = cont;
@@ -143,6 +185,8 @@ let run_probe ?schedule ctx cont inst =
             | Opp_solver.Timeout -> `Timeout);
           nodes = stats.Opp_solver.nodes;
           elapsed_s = stats.Opp_solver.elapsed;
+          bounds =
+            Telemetry.add_bound_counters engine_delta stats.Opp_solver.bounds;
         });
     match outcome with
     | Opp_solver.Feasible p -> `Feasible p
@@ -245,6 +289,39 @@ let base_lower_bound inst ~t_max =
   let rec by_volume s = if s * s * t_max >= volume then s else by_volume (s + 1) in
   max !spatial (by_volume !spatial)
 
+(* Engine-strengthened lower bounds. Gated on the run having stage-1
+   bounds enabled ([ctx.engine]); ablation runs with [use_bounds =
+   false] keep the closed-form values, and so does every search the
+   budget accounting already covers — certificates are free. *)
+
+let ctx_time_lower_bound ctx inst ~w ~h =
+  let closed = time_lower_bound inst ~w ~h in
+  match ctx.engine with
+  | None -> closed
+  | Some e ->
+    max closed
+      (Bound_engine.time_lower_bound e inst (Container.make3 ~w ~h ~t_max:1))
+
+(* The smallest square base the engine cannot refute at [t_max]. The
+   doubling search used to start from the closed-form floor even when
+   stage 1 could already refute sizes past it — its guard then burned
+   probe after probe rediscovering what the bounds knew. Walking the
+   floor up by certificate first means [doubling_minimize] starts from
+   the engine's lower bound. *)
+let ctx_base_lower_bound ctx inst ~t_max =
+  let lo = base_lower_bound inst ~t_max in
+  match ctx.engine with
+  | None -> lo
+  | Some e ->
+    let rec walk s guard =
+      if guard = 0 then s
+      else
+        match Bound_engine.check e inst (Container.make3 ~w:s ~h:s ~t_max) with
+        | Bound_engine.Infeasible _ -> walk (s + 1) (guard - 1)
+        | Bound_engine.Lower_bound _ | Bound_engine.Inconclusive -> s
+    in
+    walk lo 64
+
 (* ------------------------------------------------------------------ *)
 (* FeasAT&FindS                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -265,7 +342,7 @@ let minimize_time_ctx ctx ?upper inst ~w ~h =
     invalid_arg "Problems.minimize_time: expects 3-dimensional instances";
   if spatial_misfit inst ~w ~h then Infeasible
   else begin
-    let lo = max 1 (time_lower_bound inst ~w ~h) in
+    let lo = max 1 (ctx_time_lower_bound ctx inst ~w ~h) in
     let incumbent =
       match upper with
       | Some { value; placement } ->
@@ -302,7 +379,7 @@ let minimize_base_ctx ctx inst ~t_max =
     invalid_arg "Problems.minimize_base: expects 3-dimensional instances";
   if Instance.critical_path inst > t_max then Infeasible
   else begin
-    let lo = base_lower_bound inst ~t_max in
+    let lo = ctx_base_lower_bound ctx inst ~t_max in
     let probe s = run_probe ctx (Container.make3 ~w:s ~h:s ~t_max) inst in
     doubling_minimize ctx ~lo ~probe
   end
@@ -462,7 +539,9 @@ let minimize_base_fixed_schedule ?options ?jobs ?on_probe inst ~t_max ~schedule
         | None -> `Infeasible)
       | (`Infeasible | `Timeout) as r -> r
     in
-    doubling_minimize ctx ~lo:(base_lower_bound inst ~t_max) ~probe
+    (* The engine ignores the schedule, which only adds constraints, so
+       its refutations stay valid here. *)
+    doubling_minimize ctx ~lo:(ctx_base_lower_bound ctx inst ~t_max) ~probe
   end
 
 (* ------------------------------------------------------------------ *)

@@ -32,7 +32,16 @@
 
     {b Telemetry.} [on_probe] fires after every completed probe with
     the container tried, the verdict, and the node/time cost;
-    {!probe_json} renders one probe for [--stats json] traces. *)
+    {!probe_json} renders one probe for [--stats json] traces.
+
+    {b Bound engine.} When the caller's options enable stage-1 bounds,
+    every driver shares one {!Bound_engine} across its probes: probes
+    the engine refutes are answered for free (no budget charge, no
+    probe event), the doubling/bisection brackets start from the
+    engine's proven lower bounds — tightening [Unknown] and
+    [Feasible_incumbent] gaps — and the solve inside each probe skips
+    its own stage-1 re-check. Ablation runs with [use_bounds = false]
+    keep the closed-form bounds and probe every size. *)
 
 (** Witness-carrying optimum: the optimal value and a feasible placement
     attaining it. *)
@@ -75,10 +84,13 @@ type probe = {
   verdict : [ `Feasible | `Infeasible | `Timeout ];
   nodes : int;  (** branch-and-bound nodes spent on this probe *)
   elapsed_s : float;  (** wall-clock seconds spent on this probe *)
+  bounds : Telemetry.bound_counters;
+      (** per-bound engine counters of the solve behind this probe *)
 }
 
 (** One probe as a JSON object:
-    [{"container":[w,h,t],"outcome":"...","nodes":n,"elapsed_s":s}]. *)
+    [{"container":[w,h,t],"outcome":"...","nodes":n,"elapsed_s":s,
+    "bounds":{...}}]. *)
 val probe_json : probe -> Telemetry.json
 
 (** Three-valued decision answer: a witness, a proof of infeasibility,

@@ -40,6 +40,55 @@ let add_rules a b =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Per-bound counters                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type bound_counter = { calls : int; time_s : float; prunes : int }
+
+let zero_bound = { calls = 0; time_s = 0.0; prunes = 0 }
+
+type bound_counters = (string * bound_counter) list
+
+let add_bound a b = {
+  calls = a.calls + b.calls;
+  time_s = a.time_s +. b.time_s;
+  prunes = a.prunes + b.prunes;
+}
+
+(* Pointwise merge keyed by bound name; keeps the order of [a] and
+   appends names only [b] saw, so a parallel merge is stable. *)
+let add_bound_counters a b =
+  let merged =
+    List.map
+      (fun (name, ca) ->
+        match List.assoc_opt name b with
+        | Some cb -> (name, add_bound ca cb)
+        | None -> (name, ca))
+      a
+  in
+  let extra = List.filter (fun (name, _) -> not (List.mem_assoc name a)) b in
+  merged @ extra
+
+(* Difference between two snapshots of one monotone counter set: what
+   accumulated since [older] was taken. All-idle deltas are dropped so
+   callers can attach the result without flooding reports with zeros. *)
+let sub_bound_counters newer older =
+  List.filter_map
+    (fun (name, cn) ->
+      let d =
+        match List.assoc_opt name older with
+        | Some co ->
+          {
+            calls = cn.calls - co.calls;
+            time_s = cn.time_s -. co.time_s;
+            prunes = cn.prunes - co.prunes;
+          }
+        | None -> cn
+      in
+      if d.calls = 0 && d.prunes = 0 then None else Some (name, d))
+    newer
+
+(* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -124,3 +173,16 @@ let rules_to_json r =
       ("realize_attempts", Int r.realize_attempts);
       ("realize_time_s", seconds r.realize_time_s);
     ]
+
+let bounds_to_json (bs : bound_counters) =
+  Obj
+    (List.map
+       (fun (name, c) ->
+         ( name,
+           Obj
+             [
+               ("calls", Int c.calls);
+               ("time_s", seconds c.time_s);
+               ("prunes", Int c.prunes);
+             ] ))
+       bs)

@@ -27,6 +27,30 @@ type rule_counters = {
 val zero_rules : rule_counters
 val add_rules : rule_counters -> rule_counters -> rule_counters
 
+(** Cumulative per-bound counters from the {!Bound_engine}: how often a
+    registered bound ran, how long it took, and how many times its
+    verdict pruned work (an [Infeasible] certificate, or a lower bound
+    that closed a node). *)
+type bound_counter = { calls : int; time_s : float; prunes : int }
+
+val zero_bound : bound_counter
+
+(** Association list keyed by bound name, in registry order. *)
+type bound_counters = (string * bound_counter) list
+
+val add_bound : bound_counter -> bound_counter -> bound_counter
+
+(** Pointwise merge keyed by name; names only the right operand saw are
+    appended, so merging parallel workers is stable. *)
+val add_bound_counters : bound_counters -> bound_counters -> bound_counters
+
+(** [sub_bound_counters newer older] is the pointwise difference between
+    two snapshots of the same monotonically-growing counter set — the
+    work accumulated between the snapshots. Names absent from [older]
+    pass through unchanged; entries whose delta records no calls and no
+    prunes are dropped. *)
+val sub_bound_counters : bound_counters -> bound_counters -> bound_counters
+
 (** Minimal JSON document model — enough for stats reports, with exact
     control over number formatting (hand-rolled emitters used
     [%.6f] for seconds; {!seconds} preserves that). *)
@@ -46,3 +70,4 @@ val to_string : json -> string
 val seconds : float -> json
 
 val rules_to_json : rule_counters -> json
+val bounds_to_json : bound_counters -> json

@@ -212,6 +212,43 @@ let test_io_roundtrip () =
   Alcotest.(check bool) "precedence" true
     (Packing.Instance.precedes i2 0 1)
 
+(* parse ∘ print is the identity on every instance the generators can
+   produce: same labels, boxes, and (transitively closed) precedence. *)
+let prop_io_roundtrip_id seed =
+  let n = 1 + (seed mod 9) in
+  let i1 =
+    Benchmarks.Generate.random ~seed ~n ~max_extent:5 ~max_duration:4
+      ~arc_probability:0.3 ()
+  in
+  let io1 =
+    {
+      IO.instance = i1;
+      chip = (if seed mod 3 = 0 then Some (Chip.create ~w:7 ~h:5) else None);
+      t_max = (if seed mod 2 = 0 then Some (4 + (seed mod 7)) else None);
+    }
+  in
+  let io2 = IO.parse (IO.print io1) in
+  let i2 = io2.IO.instance in
+  Packing.Instance.name i1 = Packing.Instance.name i2
+  && Packing.Instance.count i1 = Packing.Instance.count i2
+  && List.for_all
+       (fun i ->
+         Packing.Instance.label i1 i = Packing.Instance.label i2 i
+         && Box.equal (Packing.Instance.box i1 i) (Packing.Instance.box i2 i))
+       (List.init (Packing.Instance.count i1) Fun.id)
+  && List.for_all
+       (fun i ->
+         List.for_all
+           (fun j ->
+             Packing.Instance.precedes i1 i j = Packing.Instance.precedes i2 i j)
+           (List.init (Packing.Instance.count i1) Fun.id))
+       (List.init (Packing.Instance.count i1) Fun.id)
+  && (match (io1.IO.chip, io2.IO.chip) with
+     | Some a, Some b -> Chip.width a = Chip.width b && Chip.height a = Chip.height b
+     | None, None -> true
+     | _ -> false)
+  && io1.IO.t_max = io2.IO.t_max
+
 let test_io_de_roundtrip () =
   let io =
     { IO.instance = Benchmarks.De.instance; chip = Some (Chip.square 32); t_max = Some 14 }
@@ -495,5 +532,6 @@ let () =
           Alcotest.test_case "errors" `Quick test_io_errors;
           Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
           Alcotest.test_case "DE roundtrip" `Quick test_io_de_roundtrip;
+          qtest ~count:200 "parse/print identity" arb_seed prop_io_roundtrip_id;
         ] );
     ]
