@@ -135,6 +135,67 @@ let node_bounds_opt =
                  certificates, so the verdict is identical under every \
                  policy; only the search speed changes.")
 
+let trace_opt =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a structured search trace. A .json suffix writes \
+                 Chrome trace-event format (load in chrome://tracing or \
+                 Perfetto); any other name writes JSONL, one event per line \
+                 (see `trace-summary`).")
+
+let progress_opt =
+  Arg.(value & opt ~vopt:(Some 1.0) (some float) None
+       & info [ "progress" ] ~docv:"SECONDS"
+           ~doc:"Print a live progress heartbeat to stderr (nodes/s, depth, \
+                 decided fraction, bracket) every $(docv) seconds \
+                 (default 1.0 when the flag is given bare).")
+
+let heartbeat_line (p : Packing.Telemetry.progress) =
+  let b = Buffer.create 96 in
+  Printf.bprintf b
+    "[%7.1fs] %d nodes (%.0f/s) depth %d decided %.1f%% trail %d" p.elapsed_s
+    p.nodes p.nodes_per_s p.max_depth
+    (100.0 *. p.decided_fraction)
+    p.trail_length;
+  (match p.bracket with
+  | Some (lo, hi) -> Printf.bprintf b " bracket [%d,%d]" lo hi
+  | None -> ());
+  (match p.gap with Some g -> Printf.bprintf b " gap %d" g | None -> ());
+  Buffer.contents b
+
+(* Install the --trace / --progress plumbing into solver options.
+   Returns the adjusted options plus a closure that writes the trace
+   file once the solve is done (events live in memory until then). *)
+let with_observability options trace_file progress =
+  let trace =
+    match trace_file with
+    | None -> Packing.Trace.null
+    | Some _ -> Packing.Trace.create ()
+  in
+  let options = { options with Packing.Opp_solver.trace } in
+  let options =
+    match progress with
+    | None -> options
+    | Some interval ->
+      {
+        options with
+        Packing.Opp_solver.progress_interval_s = interval;
+        on_heartbeat = Some (fun p -> prerr_endline (heartbeat_line p));
+      }
+  in
+  let write_trace () =
+    match trace_file with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      if Filename.check_suffix path ".json" then
+        Packing.Trace.write_chrome trace oc
+      else Packing.Trace.write_jsonl trace oc;
+      close_out oc;
+      Format.eprintf "wrote %s@." path
+  in
+  (options, write_trace)
+
 let options_with_deadline time_limit realize node_bounds =
   let policy = function
     | `Adaptive -> None
@@ -155,9 +216,16 @@ let options_with_deadline time_limit realize node_bounds =
   | None -> options
   | Some s -> { options with deadline = Some (Unix.gettimeofday () +. s) }
 
+let no_heuristic_flag =
+  Arg.(value & flag
+       & info [ "no-heuristic" ]
+           ~doc:"Skip the stage-2 construction heuristic and go straight to \
+                 the branch-and-bound search (useful with --trace to record \
+                 search events on instances the heuristic would settle).")
+
 let solve_cmd =
   let run file chip time render quiet svg jobs time_limit stats realize
-      node_bounds =
+      node_bounds trace_file progress no_heuristic =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
@@ -167,7 +235,16 @@ let solve_cmd =
         let inst = io.Fpga.Instance_io.instance in
         let container = Fpga.Chip.container chip ~t_max in
         let options = options_with_deadline time_limit realize node_bounds in
+        let options =
+          if no_heuristic then
+            { options with Packing.Opp_solver.use_heuristic = false }
+          else options
+        in
+        let options, write_trace =
+          with_observability options trace_file progress
+        in
         let finish outcome pp_report =
+          write_trace ();
           match outcome with
           | Packing.Opp_solver.Feasible p ->
             Format.printf "feasible on %a within %d cycles (%t)@." Fpga.Chip.pp
@@ -206,7 +283,7 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(const run $ file_arg $ chip_opt $ time_opt $ render_flag $ quiet_flag
           $ svg_opt $ jobs_opt $ time_limit_opt $ stats_opt $ realize_opt
-          $ node_bounds_opt)
+          $ node_bounds_opt $ trace_opt $ progress_opt $ no_heuristic_flag)
 
 (* Collect the probe trace for --stats json; the returned callback is
    handed to the Problems driver as [on_probe]. *)
@@ -251,7 +328,8 @@ let anytime_stats_json ~problem ~value_json result probes =
          ]))
 
 let min_time_cmd =
-  let run file chip render quiet jobs time_limit stats realize node_bounds =
+  let run file chip render quiet jobs time_limit stats realize node_bounds
+      trace_file progress =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
@@ -260,11 +338,15 @@ let min_time_cmd =
       | Ok chip ->
         let inst = io.Fpga.Instance_io.instance in
         let options = options_with_deadline time_limit realize node_bounds in
+        let options, write_trace =
+          with_observability options trace_file progress
+        in
         let probes, on_probe = probe_collector () in
         let result =
           Packing.Problems.minimize_time ~options ~jobs ~on_probe inst
             ~w:(Fpga.Chip.width chip) ~h:(Fpga.Chip.height chip)
         in
+        write_trace ();
         (match stats with
         | Some `Json ->
           Format.printf "%s@."
@@ -298,10 +380,12 @@ let min_time_cmd =
   let doc = "Minimize the makespan on a fixed chip (MinT&FindS / SPP)." in
   Cmd.v (Cmd.info "min-time" ~doc)
     Term.(const run $ file_arg $ chip_opt $ render_flag $ quiet_flag $ jobs_opt
-          $ time_limit_opt $ stats_opt $ realize_opt $ node_bounds_opt)
+          $ time_limit_opt $ stats_opt $ realize_opt $ node_bounds_opt
+          $ trace_opt $ progress_opt)
 
 let min_area_cmd =
-  let run file time render quiet jobs time_limit stats realize node_bounds =
+  let run file time render quiet jobs time_limit stats realize node_bounds
+      trace_file progress =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
@@ -310,10 +394,14 @@ let min_area_cmd =
       | Ok t_max ->
         let inst = io.Fpga.Instance_io.instance in
         let options = options_with_deadline time_limit realize node_bounds in
+        let options, write_trace =
+          with_observability options trace_file progress
+        in
         let probes, on_probe = probe_collector () in
         let result =
           Packing.Problems.minimize_base ~options ~jobs ~on_probe inst ~t_max
         in
+        write_trace ();
         (match stats with
         | Some `Json ->
           Format.printf "%s@."
@@ -349,7 +437,8 @@ let min_area_cmd =
   let doc = "Minimize a quadratic chip for a time budget (MinA&FindS / BMP)." in
   Cmd.v (Cmd.info "min-area" ~doc)
     Term.(const run $ file_arg $ time_opt $ render_flag $ quiet_flag $ jobs_opt
-          $ time_limit_opt $ stats_opt $ realize_opt $ node_bounds_opt)
+          $ time_limit_opt $ stats_opt $ realize_opt $ node_bounds_opt
+          $ trace_opt $ progress_opt)
 
 let pareto_cmd =
   let h_min_arg =
@@ -364,7 +453,8 @@ let pareto_cmd =
          & info [ "no-precedence" ]
              ~doc:"Drop the precedence constraints (dashed curve of Fig. 7).")
   in
-  let run file h_min h_max no_prec quiet jobs time_limit stats =
+  let run file h_min h_max no_prec quiet jobs time_limit stats trace_file
+      progress =
     match read_instance file with
     | Error msg -> err msg
     | Ok io ->
@@ -373,11 +463,13 @@ let pareto_cmd =
         if no_prec then Packing.Instance.without_precedence inst else inst
       in
       let options = options_with_deadline time_limit `Adaptive `Adaptive in
+      let options, write_trace = with_observability options trace_file progress in
       let probes, on_probe = probe_collector () in
       let { Packing.Problems.points; complete } =
         Packing.Problems.pareto_front ~options ~jobs ~on_probe inst ~h_min
           ~h_max
       in
+      write_trace ();
       (match stats with
       | Some `Json ->
         let open Packing.Telemetry in
@@ -408,7 +500,7 @@ let pareto_cmd =
   let doc = "Compute the chip-size/makespan Pareto front (paper Fig. 7)." in
   Cmd.v (Cmd.info "pareto" ~doc)
     Term.(const run $ file_arg $ h_min_arg $ h_max_arg $ no_prec $ quiet_flag
-          $ jobs_opt $ time_limit_opt $ stats_opt)
+          $ jobs_opt $ time_limit_opt $ stats_opt $ trace_opt $ progress_opt)
 
 let simulate_cmd =
   let run file chip time =
@@ -663,6 +755,28 @@ let ilp_cmd =
   Cmd.v (Cmd.info "ilp" ~doc)
     Term.(const run $ file_arg $ chip_opt $ time_opt $ emit_flag)
 
+let trace_summary_cmd =
+  let trace_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"JSONL trace file written by --trace.")
+  in
+  let run file =
+    let ic = open_in file in
+    let result = Packing.Trace.Summary.of_channel ic in
+    close_in ic;
+    match result with
+    | Error msg -> err (file ^ ": " ^ msg)
+    | Ok s ->
+      Format.printf "%a@?" Packing.Trace.Summary.pp s;
+      0
+  in
+  let doc =
+    "Summarize a JSONL search trace: per-phase, per-bound and per-worker \
+     time breakdowns, rule conflicts, probes, and incumbent history."
+  in
+  Cmd.v (Cmd.info "trace-summary" ~doc) Term.(const run $ trace_arg)
+
 let export_cmd =
   let which =
     Arg.(required & pos 0 (some (enum [ ("de", `De); ("codec", `Codec) ])) None
@@ -712,4 +826,5 @@ let () =
             vcd_cmd;
             ilp_cmd;
             export_cmd;
+            trace_summary_cmd;
           ]))

@@ -477,9 +477,13 @@ type counter = {
   mutable prunes : int;
 }
 
-type t = { entries : entry list; tallies : (string * counter) list }
+type t = {
+  entries : entry list;
+  tallies : (string * counter) list;
+  trace : Trace.t;
+}
 
-let create ?names () =
+let create ?names ?(trace = Trace.null) () =
   let entries =
     match names with
     | None -> all_entries
@@ -497,6 +501,7 @@ let create ?names () =
       List.map
         (fun e -> (e.name, { calls = 0; time_s = 0.0; prunes = 0 }))
         entries;
+    trace;
   }
 
 let names t = List.map (fun e -> e.name) t.entries
@@ -517,11 +522,22 @@ let timed t e inst container ~seq =
   let c = tally t e.name in
   let start = Unix.gettimeofday () in
   let verdict = e.run inst container ~seq in
+  let dt = Unix.gettimeofday () -. start in
   c.calls <- c.calls + 1;
-  c.time_s <- c.time_s +. (Unix.gettimeofday () -. start);
+  c.time_s <- c.time_s +. dt;
   (match verdict with
   | Infeasible _ -> c.prunes <- c.prunes + 1
   | Lower_bound _ | Inconclusive -> ());
+  (* The trace records the same measured duration the counters
+     accumulate, so [trace-summary] reproduces [--stats json]. *)
+  if Trace.enabled t.trace then
+    Trace.bound_call t.trace ~bound:e.name
+      ~verdict:
+        (match verdict with
+        | Infeasible cert -> Trace.Bv_infeasible cert.detail
+        | Lower_bound l -> Trace.Bv_lower_bound l
+        | Inconclusive -> Trace.Bv_inconclusive)
+      ~dur_s:dt;
   verdict
 
 let check_dimensions ~who inst container =

@@ -63,9 +63,11 @@ type t
 val default_names : string list
 
 (** [create ()] builds an engine with every default bound registered.
-    [?names] restricts (and reorders) the registry.
+    [?names] restricts (and reorders) the registry. [?trace] records
+    one {!Trace} bound-call event per evaluation, carrying the same
+    measured duration the engine's own counters accumulate.
     @raise Invalid_argument on an unknown name. *)
-val create : ?names:string list -> unit -> t
+val create : ?names:string list -> ?trace:Trace.t -> unit -> t
 
 val names : t -> string list
 

@@ -32,6 +32,9 @@ type options = {
   deadline : float option;
   interrupt : (unit -> bool) option;
   on_progress : (stats -> unit) option;
+  progress_interval_s : float;
+  on_heartbeat : (Telemetry.progress -> unit) option;
+  trace : Trace.t;
   component_first : bool;
   realize : realize_policy;
   node_bounds : realize_policy;
@@ -54,6 +57,9 @@ let default_options =
     deadline = None;
     interrupt = None;
     on_progress = None;
+    progress_interval_s = 1.0;
+    on_heartbeat = None;
+    trace = Trace.null;
     component_first = true;
     realize = default_realize;
     node_bounds = default_node_bounds;
@@ -63,10 +69,10 @@ exception Found of Geometry.Placement.t
 exception Stopped
 
 (* How often (in nodes) the wall clock and the cooperative interrupt
-   flag are polled, and how often on_progress fires. Powers of two so
-   the checks compile to a mask. *)
+   flag are polled. A power of two so the check compiles to a mask;
+   the progress callbacks fire on wall-clock time measured at these
+   polls, not on node counts. *)
 let poll_mask = 31
-let progress_mask = 1023
 
 (* The stage-3 search from an already-initialized state. Counters are
    threaded through references so [solve] and [solve_state] share the
@@ -87,7 +93,7 @@ let search ~options ~t0 ~depth_offset ?(bounds0 = []) state =
   let engine =
     match options.node_bounds with
     | Realize_never -> None
-    | _ -> Some (Bound_engine.create ())
+    | _ -> Some (Bound_engine.create ~trace:options.trace ())
   in
   let last_bound_trail = ref (min_int / 2) in
   let last_bound_node = ref (min_int / 2) in
@@ -120,22 +126,60 @@ let search ~options ~t0 ~depth_offset ?(bounds0 = []) state =
   let finish outcome ~by_bounds ~by_heuristic =
     (outcome, snapshot ~by_bounds ~by_heuristic)
   in
+  (* Progress callbacks fire on a wall-clock cadence: at every poll
+     tick the clock is read once (shared with the deadline check) and
+     compared against the next scheduled heartbeat, so the reporting
+     rate is independent of node throughput. The clock is only read
+     when some consumer needs it. *)
+  let wants_progress =
+    Option.is_some options.on_progress
+    || Option.is_some options.on_heartbeat
+    || Trace.enabled options.trace
+  in
+  let wants_clock = wants_progress || Option.is_some options.deadline in
+  let next_progress = ref (t0 +. options.progress_interval_s) in
+  let heartbeat now =
+    next_progress := now +. options.progress_interval_s;
+    (match options.on_progress with
+    | Some f -> f (snapshot ~by_bounds:false ~by_heuristic:false)
+    | None -> ());
+    if
+      Option.is_some options.on_heartbeat || Trace.enabled options.trace
+    then begin
+      let elapsed = now -. t0 in
+      let p =
+        {
+          Telemetry.elapsed_s = elapsed;
+          nodes = !nodes;
+          nodes_per_s =
+            (if elapsed > 0.0 then float_of_int !nodes /. elapsed else 0.0);
+          max_depth = !max_depth;
+          decided_fraction = Packing_state.decided_fraction state;
+          trail_length = Packing_state.total_trail state;
+          bracket = None;
+          gap = None;
+        }
+      in
+      (match options.on_heartbeat with Some f -> f p | None -> ());
+      Trace.progress options.trace p
+    end
+  in
   let check_budget () =
     (match options.node_limit with
     | Some limit when !nodes > limit -> raise Stopped
     | _ -> ());
     if !nodes land poll_mask = 0 || !nodes = 1 then begin
-      (match options.deadline with
-      | Some d when Unix.gettimeofday () > d -> raise Stopped
-      | _ -> ());
-      match options.interrupt with
+      (match options.interrupt with
       | Some stop when stop () -> raise Stopped
-      | _ -> ()
-    end;
-    match options.on_progress with
-    | Some f when !nodes land progress_mask = 0 ->
-      f (snapshot ~by_bounds:false ~by_heuristic:false)
-    | _ -> ()
+      | _ -> ());
+      if wants_clock then begin
+        let now = Unix.gettimeofday () in
+        (match options.deadline with
+        | Some d when now > d -> raise Stopped
+        | _ -> ());
+        if wants_progress && now >= !next_progress then heartbeat now
+      end
+    end
   in
   let should_attempt () =
     match options.realize with
@@ -188,13 +232,16 @@ let search ~options ~t0 ~depth_offset ?(bounds0 = []) state =
       refuted
     end
   in
+  let trace = options.trace in
   let rec dfs depth =
     incr nodes;
     if depth > !max_depth then max_depth := depth;
+    let recorded = Trace.node_enter trace ~node:!nodes ~depth in
     check_budget ();
-    if node_refuted () then incr conflicts
-    else dfs_body depth
-  and dfs_body depth =
+    let conflicts0 = !conflicts in
+    (if node_refuted () then incr conflicts else dfs_body ~recorded depth);
+    Trace.node_close trace ~recorded ~depth ~conflicts:(!conflicts - conflicts0)
+  and dfs_body ~recorded depth =
     (* Early realization: if the decided part of the class already
        forces a feasible layout, stop — the validator guarantees
        soundness, undecided pairs merely lose their "must overlap"
@@ -210,7 +257,9 @@ let search ~options ~t0 ~depth_offset ?(bounds0 = []) state =
       last_attempt_trail := Packing_state.total_trail state;
       let a0 = Unix.gettimeofday () in
       let hit = Reconstruct.attempt state in
-      realize_time := !realize_time +. (Unix.gettimeofday () -. a0);
+      let dt = Unix.gettimeofday () -. a0 in
+      realize_time := !realize_time +. dt;
+      Trace.realize trace ~success:(Option.is_some hit) ~dur_s:dt;
       match hit with
       | Some placement -> raise (Found placement)
       | None -> incr consec_failures
@@ -221,11 +270,14 @@ let search ~options ~t0 ~depth_offset ?(bounds0 = []) state =
       incr realize_attempts;
       let a0 = Unix.gettimeofday () in
       let hit = Reconstruct.of_state state in
-      realize_time := !realize_time +. (Unix.gettimeofday () -. a0);
+      let dt = Unix.gettimeofday () -. a0 in
+      realize_time := !realize_time +. dt;
+      Trace.realize trace ~success:(Option.is_some hit) ~dur_s:dt;
       match hit with
       | Some placement -> raise (Found placement)
       | None -> incr conflicts)
     | Some (dim, u, v) ->
+      Trace.decision trace ~recorded ~depth ~dim ~u ~v;
       let branch assign =
         let marks = Packing_state.mark state in
         (match assign state ~dim u v with
@@ -246,7 +298,9 @@ let search ~options ~t0 ~depth_offset ?(bounds0 = []) state =
     dfs (depth_offset + 1);
     finish Infeasible ~by_bounds:false ~by_heuristic:false
   with
-  | Found placement -> finish (Feasible placement) ~by_bounds:false ~by_heuristic:false
+  | Found placement ->
+    Trace.incumbent trace ~objective:(Geometry.Placement.makespan placement);
+    finish (Feasible placement) ~by_bounds:false ~by_heuristic:false
   | Stopped -> finish Timeout ~by_bounds:false ~by_heuristic:false
 
 let solve_state ?(options = default_options) ?(depth_offset = 0) state =
@@ -254,16 +308,26 @@ let solve_state ?(options = default_options) ?(depth_offset = 0) state =
 
 let solve ?(options = default_options) ?schedule inst cont =
   let t0 = Unix.gettimeofday () in
+  let trace = options.trace in
+  let staged name f =
+    if Trace.enabled trace then begin
+      let s0 = Unix.gettimeofday () in
+      let r = f () in
+      Trace.phase trace ~phase:name ~dur_s:(Unix.gettimeofday () -. s0);
+      r
+    end
+    else f ()
+  in
   (* Stage 1: try to disprove existence by bounds. The engine's counters
      are threaded into the final stats whatever stage settles the
      instance. *)
   let root_engine =
-    if options.use_bounds then Some (Bound_engine.create ()) else None
+    if options.use_bounds then Some (Bound_engine.create ~trace ()) else None
   in
   let root_verdict =
     match root_engine with
     | None -> Bound_engine.Inconclusive
-    | Some e -> Bound_engine.check e inst cont
+    | Some e -> staged "stage1-bounds" (fun () -> Bound_engine.check e inst cont)
   in
   let bounds0 =
     match root_engine with
@@ -293,18 +357,23 @@ let solve ?(options = default_options) ?schedule inst cont =
        start times, which is not the question being asked. *)
     let heuristic_hit =
       if options.use_heuristic && schedule = None && Instance.dim inst = 3 then
-        Heuristic.pack inst cont
+        staged "stage2-heuristic" (fun () -> Heuristic.pack inst cont)
       else None
     in
     match heuristic_hit with
     | Some placement ->
+      Trace.incumbent trace ~objective:(Geometry.Placement.makespan placement);
       finish (Feasible placement) ~conflicts:0 ~by_bounds:false ~by_heuristic:true
     | None -> (
       (* Stage 3: branch and bound over packing classes. *)
-      match Packing_state.create ~rules:options.rules ?schedule inst cont with
+      match
+        Packing_state.create ~rules:options.rules ?schedule ~trace inst cont
+      with
       | Error _ ->
         finish Infeasible ~conflicts:1 ~by_bounds:false ~by_heuristic:false
-      | Ok state -> search ~options ~t0 ~depth_offset:0 ~bounds0 state)
+      | Ok state ->
+        staged "stage3-search" (fun () ->
+            search ~options ~t0 ~depth_offset:0 ~bounds0 state))
   end
 
 let feasible ?options ?schedule inst cont =

@@ -78,10 +78,30 @@ type options = {
           Used by {!Parallel_solver} to stop sibling workers once a
           definitive answer is known. *)
   on_progress : (stats -> unit) option;
-      (** periodic telemetry callback (every ~1k nodes) with a snapshot
-          of the running counters. Called from the solving thread; in a
-          parallel solve it may be invoked concurrently from several
-          domains. *)
+      (** Periodic telemetry callback with a snapshot of the running
+          counters. Fires on a wall-clock cadence of
+          [progress_interval_s] seconds, checked at the node-poll
+          granularity (every ~32 nodes), so the reporting rate does not
+          depend on node throughput. The snapshot is cumulative for
+          this search (counters are monotone between calls) and must
+          not be mutated or retained past the callback; the search
+          blocks while it runs, so keep it cheap. Called from the
+          solving thread; in a parallel solve it may be invoked
+          concurrently from several domains, each reporting its own
+          worker-local counters. *)
+  progress_interval_s : float;
+      (** wall-clock seconds between [on_progress]/[on_heartbeat]
+          firings (default 1.0). Values [<= 0.0] fire at every poll
+          tick — useful in tests, pathological in production. *)
+  on_heartbeat : (Telemetry.progress -> unit) option;
+      (** like [on_progress] but with a {!Telemetry.progress} snapshot
+          (nodes/s, max depth, decided fraction, trail length) instead
+          of raw counters; fires on the same wall-clock cadence. The
+          optimization drivers ({!Problems}) wrap this to inject the
+          current bracket and gap. *)
+  trace : Trace.t;
+      (** structured event recorder threaded through the search, the
+          bound engines, and propagation ({!Trace.null} = off) *)
   component_first : bool; (** branch order at each decision *)
   realize : realize_policy;
       (** throttle for the per-node realization attempt; defaults to

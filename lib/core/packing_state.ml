@@ -63,6 +63,7 @@ type t = {
   total_slots : int;
   stats : counters;
   mutable propagations : int;
+  trace : Trace.t;
 }
 
 (* Tasks u < v are interchangeable when their boxes are equal and they
@@ -390,38 +391,46 @@ let rule_c4_diagonal t k u v =
 
 exception Rule_conflict of string
 
+(* Record a rule conflict on the trace as it happens; the Ok path adds
+   only a tag match. *)
+let fired t rule r =
+  (match r with
+  | Error reason -> Trace.rule_fire t.trace ~rule ~detail:reason
+  | Ok () -> ());
+  r
+
 let handle_pair t k u v =
   let c = t.stats in
   let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
   match OG.kind t.dims.(k) u v with
   | OG.Component ->
-    let* () = rule_c3 t u v in
+    let* () = fired t "c3" (rule_c3 t u v) in
     let* () =
       let t0 = clock () in
       let r = rule_component_clique t k u v in
       c.capacity_calls <- c.capacity_calls + 1;
       c.capacity_time <- c.capacity_time +. (clock () -. t0);
-      r
+      fired t "capacity" r
     in
     let t0 = clock () in
     let r = rule_c4_edge t k u v in
     c.c4_calls <- c.c4_calls + 1;
     c.c4_time <- c.c4_time +. (clock () -. t0);
-    r
+    fired t "c4" r
   | OG.Comparable ->
     let* () =
       let t0 = clock () in
       let r = rule_c2 t k u v in
       c.c2_calls <- c.c2_calls + 1;
       c.c2_time <- c.c2_time +. (clock () -. t0);
-      r
+      fired t "c2" r
     in
     let* () =
       let t0 = clock () in
       let r = rule_c4_diagonal t k u v in
       c.c4_calls <- c.c4_calls + 1;
       c.c4_time <- c.c4_time +. (clock () -. t0);
-      r
+      fired t "c4" r
     in
     (* Symmetry breaking: interchangeable tasks that end up
        time-comparable always run in index order. *)
@@ -430,9 +439,10 @@ let handle_pair t k u v =
       && u < v
       && t.symmetric.((u * t.n) + v)
     then
-      match OG.force_arc t.dims.(k) u v with
-      | Ok () -> Ok ()
-      | Error conflict -> fail_of conflict k
+      fired t "symmetry"
+        (match OG.force_arc t.dims.(k) u v with
+        | Ok () -> Ok ()
+        | Error conflict -> fail_of conflict k)
     else Ok ()
   | OG.Unknown -> Ok ()
 
@@ -452,7 +462,7 @@ let stabilize t =
         c.implication_time <- c.implication_time +. (clock () -. t0);
         match r with
         | Ok () -> dims_prop (k + 1)
-        | Error conflict -> fail_of conflict k
+        | Error conflict -> fired t "implications" (fail_of conflict k)
       end
       else Ok ()
     in
@@ -491,7 +501,7 @@ let stabilize t =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(rules = default_rules) ?schedule inst cont =
+let create ?(rules = default_rules) ?schedule ?(trace = Trace.null) inst cont =
   let d = Instance.dim inst in
   if Container.dim cont <> d then
     invalid_arg "Packing_state.create: dimension mismatch";
@@ -571,6 +581,7 @@ let create ?(rules = default_rules) ?schedule inst cont =
           implication_time = 0.0;
         };
       propagations = 0;
+      trace;
     }
   in
   let ( let* ) r f = match r with Ok () -> f () | Error msg -> Error msg in

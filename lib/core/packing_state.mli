@@ -48,10 +48,13 @@ val default_rules : rules
     [schedule] (a start time per task) is given, the time dimension is
     fully determined from it — the FixedS problems of the paper, which
     collapse to two spatial dimensions. [Error reason] means the
-    instance is infeasible at the root. *)
+    instance is infeasible at the root. [trace] records one
+    {!Trace.rule_fire} event per rule conflict (C2/C3/C4, capacity,
+    symmetry breaking, implication closure). *)
 val create :
   ?rules:rules ->
   ?schedule:int array ->
+  ?trace:Trace.t ->
   Instance.t ->
   Geometry.Container.t ->
   (t, string) result

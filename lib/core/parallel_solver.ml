@@ -44,7 +44,8 @@ type report = {
 let split_root ?(options = Opp_solver.default_options) ?schedule ~depth inst
     cont =
   match
-    Packing_state.create ~rules:options.Opp_solver.rules ?schedule inst cont
+    Packing_state.create ~rules:options.Opp_solver.rules ?schedule
+      ~trace:options.Opp_solver.trace inst cont
   with
   | Error reason -> Root_infeasible reason
   | Ok st ->
@@ -55,7 +56,7 @@ let split_root ?(options = Opp_solver.default_options) ?schedule ~depth inst
     let engine =
       match options.Opp_solver.node_bounds with
       | Opp_solver.Realize_never -> None
-      | _ -> Some (Bound_engine.create ())
+      | _ -> Some (Bound_engine.create ~trace:options.Opp_solver.trace ())
     in
     let refuted () =
       match engine with
@@ -99,7 +100,8 @@ let split_root ?(options = Opp_solver.default_options) ?schedule ~depth inst
 let replay ?(options = Opp_solver.default_options) ?schedule inst cont
     decisions =
   match
-    Packing_state.create ~rules:options.Opp_solver.rules ?schedule inst cont
+    Packing_state.create ~rules:options.Opp_solver.rules ?schedule
+      ~trace:options.Opp_solver.trace inst cont
   with
   | Error reason -> Error reason
   | Ok st ->
@@ -134,6 +136,7 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
     ?split_depth inst cont =
   let jobs = max 1 jobs in
   let t0 = Unix.gettimeofday () in
+  let trace = options.Opp_solver.trace in
   let finish outcome stats workers ~subproblems =
     let stats = { stats with Opp_solver.elapsed = Unix.gettimeofday () -. t0 } in
     { outcome; stats; workers; subproblems; jobs }
@@ -141,7 +144,7 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
   (* Stages 1 and 2 run once, sequentially — they are cheap and settle
      most easy instances before any domain is spawned. *)
   let root_engine =
-    if options.Opp_solver.use_bounds then Some (Bound_engine.create ())
+    if options.Opp_solver.use_bounds then Some (Bound_engine.create ~trace ())
     else None
   in
   let root_verdict =
@@ -195,6 +198,7 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
       | Subproblems subs ->
         let subs = Array.of_list subs in
         let total = Array.length subs in
+        Trace.split trace ~subproblems:total;
         let stop = Atomic.make false in
         let next = Atomic.make 0 in
         let completed = Atomic.make 0 in
@@ -222,7 +226,8 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
           }
         in
         let publish_feasible placement =
-          ignore (Atomic.compare_and_set witness None (Some placement));
+          if Atomic.compare_and_set witness None (Some placement) then
+            Trace.cancel trace ~reason:"witness found";
           Atomic.set stop true
         in
         let run_queue stats_acc solved =
@@ -233,6 +238,7 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
               let i = Atomic.fetch_and_add next 1 in
               if i >= total then continue := false
               else begin
+                Trace.claim trace ~index:i;
                 (match replay ~options ?schedule inst cont subs.(i) with
                 | Error _ ->
                   (* The prefix no longer propagates (can happen when a
@@ -262,8 +268,10 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
                   | Opp_solver.Timeout -> verdicts.(i) <- `Timeout));
                 (* Last finisher with no feasible answer releases the
                    portfolio arm too. *)
-                if Atomic.fetch_and_add completed 1 = total - 1 then
+                if Atomic.fetch_and_add completed 1 = total - 1 then begin
+                  Trace.cancel trace ~reason:"queue drained";
                   Atomic.set stop true
+                end
               end
             end
           done
@@ -312,6 +320,7 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
             | Opp_solver.Feasible p -> publish_feasible p
             | Opp_solver.Infeasible ->
               Atomic.set portfolio_infeasible true;
+              Trace.cancel trace ~reason:"portfolio refuted root";
               Atomic.set stop true
             | Opp_solver.Timeout -> ())
         in
@@ -319,10 +328,14 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
           let stats_acc = ref Opp_solver.empty_stats in
           let solved = ref 0 in
           let arms = ref [] in
+          (* Arm spans are emitted from the worker's own domain, so the
+             Chrome export shows one lane per worker with its arms. *)
           let timed name f =
             let t0 = Unix.gettimeofday () in
             f ();
-            arms := (name, Unix.gettimeofday () -. t0) :: !arms
+            let dt = Unix.gettimeofday () -. t0 in
+            Trace.phase trace ~phase:("arm:" ^ name) ~dur_s:dt;
+            arms := (name, dt) :: !arms
           in
           let arm =
             if wid = 0 && jobs > 1 then begin

@@ -86,6 +86,11 @@ type ctx = {
          then (pre-checks, bracket walks, free refutations of skipped
          sizes) is attributed to the next probe record, so the shared
          engine's work reaches the [--stats json] surfaces *)
+  trace : Trace.t;
+  mutable bracket : (int * int) option;
+      (* (proven lower bound, incumbent value) of the running monotone
+         search; stamped onto probe trace events and injected into the
+         heartbeat snapshots of every probe *)
 }
 
 let make_ctx ?(options = Opp_solver.default_options) ?(jobs = 1) ?on_probe () =
@@ -100,9 +105,12 @@ let make_ctx ?(options = Opp_solver.default_options) ?(jobs = 1) ?on_probe () =
         hit = false;
       };
     engine =
-      (if options.Opp_solver.use_bounds then Some (Bound_engine.create ())
+      (if options.Opp_solver.use_bounds then
+         Some (Bound_engine.create ~trace:options.Opp_solver.trace ())
        else None);
     engine_seen = [];
+    trace = options.Opp_solver.trace;
+    bracket = None;
   }
 
 let exhausted b =
@@ -145,6 +153,24 @@ let run_probe ?schedule ctx cont inst =
         (* The engine pre-check above just ran stage 1; don't pay for it
            again inside the probe. *)
         use_bounds = ctx.options.Opp_solver.use_bounds && ctx.engine = None;
+        (* Heartbeats escaping a probe carry the optimization's current
+           bracket so a live listener sees the enclosing gap, not just
+           the probe-local counters. *)
+        on_heartbeat =
+          (match ctx.options.Opp_solver.on_heartbeat with
+          | None -> None
+          | Some f ->
+            Some
+              (fun p ->
+                f
+                  (match ctx.bracket with
+                  | Some (lo, hi) ->
+                    {
+                      p with
+                      Telemetry.bracket = Some (lo, hi);
+                      gap = Some (hi - lo);
+                    }
+                  | None -> p)));
       }
     in
     let outcome, stats =
@@ -160,6 +186,22 @@ let run_probe ?schedule ctx cont inst =
     (match ctx.budget.nodes_left with
     | Some n -> ctx.budget.nodes_left <- Some (n - stats.Opp_solver.nodes)
     | None -> ());
+    if Trace.enabled ctx.trace then
+      Trace.probe ctx.trace
+        ~extents:
+          (Array.init (Container.dim cont) (fun d -> Container.extent cont d))
+        ~verdict:
+          (match outcome with
+          | Opp_solver.Feasible _ -> "feasible"
+          | Opp_solver.Infeasible -> "infeasible"
+          | Opp_solver.Timeout -> "timeout")
+        ~nodes:stats.Opp_solver.nodes ~dur_s:stats.Opp_solver.elapsed
+        ~budget_nodes_left:ctx.budget.nodes_left
+        ~budget_s_left:
+          (Option.map
+             (fun d -> d -. Unix.gettimeofday ())
+             ctx.budget.deadline)
+        ~bracket:ctx.bracket;
     (match ctx.on_probe with
     | None -> ()
     | Some f ->
@@ -212,14 +254,18 @@ let bisect ctx ~lo ~proven ~incumbent ~probe =
   let lo = ref lo in
   let proven = ref proven in
   while !lo < fst !best && not (exhausted ctx.budget) do
+    ctx.bracket <- Some (!proven, fst !best);
     let mid = (!lo + fst !best - 1) / 2 in
     match probe mid with
-    | `Feasible w -> best := (mid, w)
+    | `Feasible w ->
+      best := (mid, w);
+      Trace.incumbent ctx.trace ~objective:mid
     | `Infeasible ->
       lo := mid + 1;
       proven := max !proven (mid + 1)
     | `Timeout -> lo := mid + 1
   done;
+  ctx.bracket <- Some (!proven, fst !best);
   (!best, !proven)
 
 let classified (value, placement) ~proven =
@@ -248,6 +294,7 @@ let doubling_minimize ctx ~lo ~probe =
   match find_hi lo lo 24 with
   | Error proven -> Unknown { lower_bound = proven }
   | Ok (hi, w, proven) ->
+    Trace.incumbent ctx.trace ~objective:hi;
     (* Everything below [proven] is already refuted, so the bisection
        bracket starts there, not back at [lo]. *)
     let best, proven = bisect ctx ~lo:proven ~proven ~incumbent:(hi, w) ~probe in

@@ -51,6 +51,26 @@ val add_bound_counters : bound_counters -> bound_counters -> bound_counters
     prunes are dropped. *)
 val sub_bound_counters : bound_counters -> bound_counters -> bound_counters
 
+(** A periodic search-progress snapshot, produced by the wall-clock
+    heartbeat of {!Opp_solver} (see [options.progress_interval_s]) and
+    carried by {!Trace} progress events. [bracket] and [gap] are filled
+    only when an optimization driver ({!Problems}) is running the search
+    — they describe the current proven-bound/incumbent bracket of the
+    monotone search. *)
+type progress = {
+  elapsed_s : float;  (** wall-clock seconds since the solve started *)
+  nodes : int;  (** nodes visited so far *)
+  nodes_per_s : float;  (** average node throughput so far *)
+  max_depth : int;  (** deepest decision stack reached so far *)
+  decided_fraction : float;
+      (** fraction of (pair, dimension) slots already decided, in [0,1] *)
+  trail_length : int;  (** current propagation trail length *)
+  bracket : (int * int) option;
+      (** (proven lower bound, incumbent value) of the enclosing
+          optimization, when one is running *)
+  gap : int option;  (** incumbent minus proven bound, when bracketed *)
+}
+
 (** Minimal JSON document model — enough for stats reports, with exact
     control over number formatting (hand-rolled emitters used
     [%.6f] for seconds; {!seconds} preserves that). *)
@@ -64,6 +84,10 @@ type json =
   | List of json list
   | Obj of (string * json) list
 
+(** Strings (and object keys) are JSON-escaped: quotes, backslashes,
+    and control characters survive hostile bound names and certificate
+    details; non-finite floats render as [null]. The output of
+    [to_string] always satisfies [of_string (to_string j) = Ok _]. *)
 val to_string : json -> string
 
 (** Seconds rendered as a fixed-precision (6 decimal places) number. *)
@@ -71,3 +95,17 @@ val seconds : float -> json
 
 val rules_to_json : rule_counters -> json
 val bounds_to_json : bound_counters -> json
+val progress_to_json : progress -> json
+
+(** [of_string s] parses one JSON document (the inverse of
+    {!to_string}, used by [trace-summary] and the tests). Numbers
+    without a fraction or exponent come back as [Int], others as
+    [Float]; [Raw] is never produced. *)
+val of_string : string -> (json, string) result
+
+(** [member key json] is the field [key] of an [Obj], if any. *)
+val member : string -> json -> json option
+
+val to_float_opt : json -> float option
+val to_int_opt : json -> int option
+val to_string_opt : json -> string option

@@ -1,0 +1,177 @@
+(* Telemetry regression tests:
+
+   - the JSON emitter must escape hostile strings (quotes, backslashes,
+     control characters flow into bound names and certificate details)
+     and render non-finite floats as null, so every [--stats json] and
+     trace line stays parseable;
+   - [of_string] must invert [to_string];
+   - the bound-counter algebra used to merge worker snapshots must be
+     associative, and a snapshot delta must recover the increment
+     ([sub (add a b) a = b] up to dropped all-idle entries). *)
+
+module T = Packing.Telemetry
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Escaping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let hostile =
+  [
+    "plain";
+    "with \"quotes\"";
+    "back\\slash";
+    "new\nline and tab\t";
+    "control\x01\x1f chars";
+    "clique-space: axis 0 \"overflow\"";
+    "utf8 \xc3\xa9\xe2\x82\xac";
+  ]
+
+let test_escaping () =
+  List.iter
+    (fun s ->
+      let doc = T.Obj [ (s, T.String s) ] in
+      match T.of_string (T.to_string doc) with
+      | Error msg ->
+        Alcotest.failf "emitted JSON for %S does not parse: %s" s msg
+      | Ok (T.Obj [ (k, T.String v) ]) ->
+        Alcotest.(check string) "key round-trips" s k;
+        Alcotest.(check string) "value round-trips" s v
+      | Ok _ -> Alcotest.fail "unexpected shape after round-trip")
+    hostile
+
+let test_nonfinite_floats () =
+  List.iter
+    (fun x ->
+      let s = T.to_string (T.Obj [ ("x", T.Float x) ]) in
+      Alcotest.(check string) "non-finite float renders as null"
+        "{\"x\":null}" s)
+    [ Float.infinity; Float.neg_infinity; Float.nan ]
+
+let test_parser_round_trip () =
+  let doc =
+    T.Obj
+      [
+        ("i", T.Int 42);
+        ("neg", T.Int (-7));
+        ("f", T.Float 2.5);
+        ("s", T.String "hi");
+        ("b", T.Bool true);
+        ("n", T.Null);
+        ("l", T.List [ T.Int 1; T.List []; T.Obj [] ]);
+        ("o", T.Obj [ ("nested", T.String "deep \"quote\"") ]);
+      ]
+  in
+  match T.of_string (T.to_string doc) with
+  | Error msg -> Alcotest.failf "round-trip parse failed: %s" msg
+  | Ok j ->
+    Alcotest.(check string) "re-emission is identical" (T.to_string doc)
+      (T.to_string j)
+
+let test_parser_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match T.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parser accepted %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bound-counter algebra                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each list draws distinct names from a small pool so [List.assoc]
+   semantics are well-defined; values stay small enough that float
+   addition is exact apart from representable rounding. *)
+let counters_arb =
+  let open QCheck in
+  let entry =
+    map
+      (fun (name, calls, prunes, dt) ->
+        ( name,
+          {
+            T.calls;
+            time_s = float_of_int dt /. 64.0;
+            prunes = min prunes calls;
+          } ))
+      (quad
+         (oneofl [ "volume"; "clique-time"; "energetic"; "dff"; "misfit" ])
+         (int_bound 50) (int_bound 50) (int_bound 100))
+  in
+  map
+    (fun entries ->
+      (* dedupe by name, first occurrence wins *)
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun (name, _) ->
+          if Hashtbl.mem seen name then false
+          else begin
+            Hashtbl.add seen name ();
+            true
+          end)
+        entries)
+    (small_list entry)
+
+let eq_counters a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (na, ca) (nb, cb) ->
+         na = nb
+         && ca.T.calls = cb.T.calls
+         && ca.T.prunes = cb.T.prunes
+         && Float.abs (ca.T.time_s -. cb.T.time_s) < 1e-9)
+       a b
+
+let assoc_prop (a, b, c) =
+  eq_counters
+    (T.add_bound_counters (T.add_bound_counters a b) c)
+    (T.add_bound_counters a (T.add_bound_counters b c))
+
+(* [sub (add a b) a] recovers [b] up to dropped all-idle entries and up
+   to position: names [a] already knew keep [a]'s slot in the merge, so
+   compare by name. *)
+let delta_prop (a, b) =
+  let delta = T.sub_bound_counters (T.add_bound_counters a b) a in
+  let expected =
+    List.filter (fun (_, c) -> c.T.calls <> 0 || c.T.prunes <> 0) b
+  in
+  List.length delta = List.length expected
+  && List.for_all
+       (fun (name, cb) ->
+         match List.assoc_opt name delta with
+         | None -> false
+         | Some cd ->
+           cd.T.calls = cb.T.calls
+           && cd.T.prunes = cb.T.prunes
+           && Float.abs (cd.T.time_s -. cb.T.time_s) < 1e-9)
+       expected
+
+let self_delta_prop a = T.sub_bound_counters a a = []
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "hostile strings escape and round-trip" `Quick
+            test_escaping;
+          Alcotest.test_case "non-finite floats render as null" `Quick
+            test_nonfinite_floats;
+          Alcotest.test_case "parser inverts the emitter" `Quick
+            test_parser_round_trip;
+          Alcotest.test_case "parser rejects malformed input" `Quick
+            test_parser_rejects_garbage;
+        ] );
+      ( "counters",
+        [
+          qtest "add_bound_counters is associative"
+            QCheck.(triple counters_arb counters_arb counters_arb)
+            assoc_prop;
+          qtest "sub (add a b) a = b up to dropped zeros"
+            QCheck.(pair counters_arb counters_arb)
+            delta_prop;
+          qtest "sub a a is empty" counters_arb self_delta_prop;
+        ] );
+    ]

@@ -1,0 +1,263 @@
+(* Trace subsystem tests: JSONL export parses and carries the expected
+   event classes, the Chrome export is well-formed trace-event JSON,
+   [Trace.Summary] re-derives the solver's per-bound counters from a
+   trace, the ring buffer drops oldest-first under pressure, the
+   sampling gate thins only node-class events, and the wall-clock
+   heartbeat fires with sane fields. *)
+
+module Container = Geometry.Container
+module Solver = Packing.Opp_solver
+module Trace = Packing.Trace
+module T = Packing.Telemetry
+
+let de = Benchmarks.De.instance
+let cont3 w h t = Container.make3 ~w ~h ~t_max:t
+
+(* Stage 2 settles DE instantly, which would leave the trace without
+   node events; bounds stay on so bound_call events appear. *)
+let traced_options trace =
+  { Solver.default_options with use_heuristic = false; trace }
+
+let jsonl_lines trace =
+  let lines = ref [] in
+  Trace.iter_jsonl trace (fun l -> lines := l :: !lines);
+  List.rev !lines
+
+let solve_traced () =
+  let trace = Trace.create () in
+  let outcome, stats =
+    Solver.solve ~options:(traced_options trace) de (cont3 16 16 14)
+  in
+  (match outcome with
+  | Solver.Feasible _ -> ()
+  | _ -> Alcotest.fail "DE at 16x16x14 must be feasible");
+  (trace, stats)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_jsonl_parses_and_covers () =
+  let trace, _ = solve_traced () in
+  let lines = jsonl_lines trace in
+  Alcotest.(check bool) "has header + events" true (List.length lines > 3);
+  let names =
+    List.map
+      (fun line ->
+        match T.of_string line with
+        | Error msg -> Alcotest.failf "unparseable JSONL line %S: %s" line msg
+        | Ok j -> (
+          match Option.bind (T.member "ev" j) T.to_string_opt with
+          | Some ev -> ev
+          | None -> Alcotest.failf "line without \"ev\": %S" line))
+      lines
+  in
+  Alcotest.(check string) "header first" "trace_start" (List.hd names);
+  List.iter
+    (fun required ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %s" required)
+        true
+        (List.mem required names))
+    [ "node_enter"; "node_close"; "bound_call"; "incumbent"; "phase" ]
+
+let test_jsonl_timestamps_monotone () =
+  let trace, _ = solve_traced () in
+  (* single-domain solve: one stream, so the merged order must be
+     globally non-decreasing *)
+  let last = ref neg_infinity in
+  List.iter
+    (fun (_, (e : Trace.event)) ->
+      Alcotest.(check bool) "ts non-decreasing" true (e.ts >= !last);
+      last := e.ts)
+    (Trace.events trace)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_well_formed () =
+  let trace, _ = solve_traced () in
+  let path = Filename.temp_file "trace" ".json" in
+  let oc = open_out path in
+  Trace.write_chrome trace oc;
+  close_out oc;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match T.of_string s with
+  | Error msg -> Alcotest.failf "chrome export does not parse: %s" msg
+  | Ok j -> (
+    match T.member "traceEvents" j with
+    | Some (T.List events) ->
+      Alcotest.(check bool) "has events" true (events <> []);
+      List.iter
+        (fun e ->
+          List.iter
+            (fun key ->
+              if T.member key e = None then
+                Alcotest.failf "chrome event missing %S: %s" key
+                  (T.to_string e))
+            [ "name"; "ph"; "ts"; "pid"; "tid" ];
+          match Option.bind (T.member "ph" e) T.to_string_opt with
+          | Some ("X" | "i" | "C" | "M") -> ()
+          | Some ph -> Alcotest.failf "unexpected phase %S" ph
+          | None -> Alcotest.fail "non-string ph")
+        events
+    | _ -> Alcotest.fail "no traceEvents array")
+
+(* ------------------------------------------------------------------ *)
+(* Summary parity with --stats                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_matches_stats () =
+  let trace, stats = solve_traced () in
+  match Trace.Summary.of_lines (jsonl_lines trace) with
+  | Error msg -> Alcotest.failf "summary failed: %s" msg
+  | Ok s ->
+    Alcotest.(check int) "no drops" 0 s.Trace.Summary.dropped;
+    Alcotest.(check int) "all nodes traced" stats.Solver.nodes
+      s.Trace.Summary.nodes;
+    List.iter
+      (fun (name, (c : T.bound_counter)) ->
+        match List.assoc_opt name s.Trace.Summary.bounds with
+        | None -> Alcotest.failf "summary lost bound %S" name
+        | Some d ->
+          Alcotest.(check int) (name ^ " calls") c.T.calls d.T.calls;
+          Alcotest.(check int) (name ^ " prunes") c.T.prunes d.T.prunes;
+          Alcotest.(check bool)
+            (name ^ " time within rounding")
+            true
+            (Float.abs (c.T.time_s -. d.T.time_s) < 1e-4))
+      stats.Solver.bounds;
+    Alcotest.(check bool) "found the incumbent" true
+      (List.exists (fun (_, obj) -> obj = 14) s.Trace.Summary.incumbents)
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer and sampling                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_drops_oldest () =
+  let capacity = 16 in
+  let trace = Trace.create ~capacity () in
+  for objective = 1 to 100 do
+    Trace.incumbent trace ~objective
+  done;
+  Alcotest.(check int) "drop count" (100 - capacity) (Trace.dropped trace);
+  let objectives =
+    List.filter_map
+      (fun (_, (e : Trace.event)) ->
+        match e.kind with
+        | Trace.Incumbent { objective } -> Some objective
+        | _ -> None)
+      (Trace.events trace)
+  in
+  Alcotest.(check (list int))
+    "newest survive in order"
+    (List.init capacity (fun i -> 100 - capacity + 1 + i))
+    objectives
+
+let test_sampling_gates_nodes_only () =
+  let trace = Trace.create ~sampling:(Trace.Sample 4) () in
+  let recorded = ref 0 in
+  for node = 1 to 100 do
+    let r = Trace.node_enter trace ~node ~depth:0 in
+    if r then incr recorded;
+    Trace.node_close trace ~recorded:r ~depth:0 ~conflicts:0;
+    Trace.bound_call trace ~bound:"b" ~verdict:Trace.Bv_inconclusive
+      ~dur_s:0.0
+  done;
+  Alcotest.(check int) "every 4th node recorded" 25 !recorded;
+  let enters, closes, bounds =
+    List.fold_left
+      (fun (e, c, b) (_, (ev : Trace.event)) ->
+        match ev.kind with
+        | Trace.Node_enter _ -> (e + 1, c, b)
+        | Trace.Node_close _ -> (e, c + 1, b)
+        | Trace.Bound_call _ -> (e, c, b + 1)
+        | _ -> (e, c, b))
+      (0, 0, 0) (Trace.events trace)
+  in
+  Alcotest.(check int) "enters thinned" 25 enters;
+  Alcotest.(check int) "closes follow the enter token" 25 closes;
+  Alcotest.(check int) "bound calls never sampled away" 100 bounds
+
+let test_null_records_nothing () =
+  let t = Trace.null in
+  Alcotest.(check bool) "disabled" false (Trace.enabled t);
+  let r = Trace.node_enter t ~node:1 ~depth:0 in
+  Alcotest.(check bool) "enter not recorded" false r;
+  Trace.incumbent t ~objective:3;
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events t))
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_heartbeat_fires () =
+  (* interval 0.0 fires at every poll tick (every ~32 nodes); DE is
+     settled at the root by propagation alone, so use an instance whose
+     bounds-off search actually visits thousands of nodes. *)
+  let snapshots = ref [] in
+  let options =
+    {
+      Solver.default_options with
+      use_heuristic = false;
+      use_bounds = false;
+      node_limit = Some 20_000;
+      progress_interval_s = 0.0;
+      on_heartbeat = Some (fun p -> snapshots := p :: !snapshots);
+    }
+  in
+  let inst = Benchmarks.Dfg.independent ~n:8 in
+  let _, stats = Solver.solve ~options inst (cont3 32 32 4) in
+  Alcotest.(check bool) "visited enough nodes to poll" true
+    (stats.Solver.nodes >= 64);
+  match !snapshots with
+  | [] -> Alcotest.fail "heartbeat never fired"
+  | ps ->
+    List.iter
+      (fun (p : T.progress) ->
+        Alcotest.(check bool) "elapsed sane" true (p.T.elapsed_s >= 0.0);
+        Alcotest.(check bool) "nodes positive" true (p.T.nodes > 0);
+        Alcotest.(check bool) "nodes within limit" true
+          (p.T.nodes <= stats.Solver.nodes);
+        Alcotest.(check bool) "decided fraction in range" true
+          (p.T.decided_fraction >= 0.0 && p.T.decided_fraction <= 1.0))
+      ps
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "jsonl",
+        [
+          Alcotest.test_case "lines parse and cover event classes" `Quick
+            test_jsonl_parses_and_covers;
+          Alcotest.test_case "timestamps non-decreasing" `Quick
+            test_jsonl_timestamps_monotone;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "export is valid trace-event JSON" `Quick
+            test_chrome_well_formed;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "reproduces per-bound stats" `Quick
+            test_summary_matches_stats;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "drops oldest first" `Quick test_ring_drops_oldest;
+          Alcotest.test_case "sampling gates node events only" `Quick
+            test_sampling_gates_nodes_only;
+          Alcotest.test_case "null trace records nothing" `Quick
+            test_null_records_nothing;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "wall-clock heartbeat fires" `Quick
+            test_heartbeat_fires;
+        ] );
+    ]
