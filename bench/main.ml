@@ -1045,6 +1045,149 @@ let bechamel_tests () =
   in
   [ t_table1; t_table2; t_fig7; t_opp_search ]
 
+(* ------------------------------------------------------------------ *)
+(* Placement service: warm-vs-cold throughput on a duplicate-heavy     *)
+(* request stream, written to BENCH_service.json                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Relabel an instance by a uniform random permutation: the box
+   multiset and the precedence DAG are unchanged up to isomorphism, so
+   the canonicalizer must map the result onto the original's cache
+   key. This is what "the same problem from another client" looks like. *)
+let permute_instance rng inst =
+  let n = Packing.Instance.count inst in
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  let boxes = Array.init n (fun k -> Packing.Instance.box inst perm.(k)) in
+  let labels = Array.init n (fun k -> Packing.Instance.label inst perm.(k)) in
+  let pos = Array.make n 0 in
+  Array.iteri (fun k o -> pos.(o) <- k) perm;
+  let arcs =
+    List.map
+      (fun (u, v) -> (pos.(u), pos.(v)))
+      (Order.Partial_order.relations (Packing.Instance.precedence inst))
+  in
+  Packing.Instance.make
+    ~name:(Packing.Instance.name inst)
+    ~labels ~precedence:arcs ~boxes ()
+
+let service_request ~id ~op ?chip ?time inst =
+  let open Packing.Telemetry in
+  let io = { Fpga.Instance_io.instance = inst; chip = None; t_max = None } in
+  to_string
+    (Obj
+       ([
+          ("id", String id);
+          ("op", String op);
+          ("instance", String (Fpga.Instance_io.print io));
+        ]
+       @ (match chip with
+         | Some (w, h) -> [ ("chip", List [ Int w; Int h ]) ]
+         | None -> [])
+       @ match time with Some t -> [ ("time", Int t) ] | None -> []))
+
+let service_bench () =
+  let tiny = Sys.getenv_opt "SERVICE_TINY" <> None in
+  Format.printf "@.== Placement service: cache throughput%s ==@."
+    (if tiny then " (tiny)" else "");
+  let uniques = if tiny then 5 else 25 in
+  let dups = uniques in
+  let rng = Random.State.make [| 20260808 |] in
+  (* the duplicated instance is the expensive one — that is the serving
+     reality the cache targets: popular problems are asked repeatedly *)
+  let hard =
+    Benchmarks.Generate.random ~seed:101 ~n:10 ~max_extent:4 ~max_duration:3
+      ~arc_probability:0.15 ()
+  in
+  let easy_reqs =
+    List.init uniques (fun i ->
+        let inst =
+          Benchmarks.Generate.random ~seed:(1000 + i) ~n:6 ~max_extent:6
+            ~max_duration:4 ~arc_probability:0.3 ()
+        in
+        service_request ~id:(Printf.sprintf "u%d" i) ~op:"solve" ~chip:(12, 12)
+          ~time:(Packing.Instance.total_duration inst)
+          inst)
+  in
+  let dup_reqs =
+    List.init dups (fun i ->
+        service_request ~id:(Printf.sprintf "d%d" i) ~op:"min-time"
+          ~chip:(6, 6)
+          (permute_instance rng hard))
+  in
+  let stream = Array.of_list (easy_reqs @ dup_reqs) in
+  (* deterministic shuffle: the duplicates arrive interleaved *)
+  for i = Array.length stream - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = stream.(i) in
+    stream.(i) <- stream.(j);
+    stream.(j) <- tmp
+  done;
+  let run ~use_cache =
+    let config = { Service.Server.default_config with use_cache } in
+    let server = Service.Server.create ~config () in
+    let responses = ref 0 in
+    let w = Service.Writer.of_sink (fun _ -> incr responses) in
+    let t0 = Unix.gettimeofday () in
+    Array.iter (Service.Server.handle_line server w) stream;
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, !responses, Service.Server.cache_counters server)
+  in
+  let cold_s, cold_n, _ = run ~use_cache:false in
+  let warm_s, warm_n, cache = run ~use_cache:true in
+  assert (cold_n = Array.length stream && warm_n = Array.length stream);
+  let rps dt = float_of_int (Array.length stream) /. dt in
+  let speedup = cold_s /. warm_s in
+  let ok = speedup >= 10.0 in
+  Format.printf
+    "  %d requests (%d unique, %d duplicated): cold %.3fs (%.1f rps), warm \
+     %.3fs (%.1f rps), speedup %.1fx, %d cache hits@."
+    (Array.length stream) uniques dups cold_s (rps cold_s) warm_s (rps warm_s)
+    speedup cache.Packing.Telemetry.cache_hits;
+  let oc = open_out "BENCH_service.json" in
+  output_string oc
+    (Packing.Telemetry.to_string
+       (Packing.Telemetry.Obj
+          [
+            ( "note",
+              Packing.Telemetry.String
+                "single-domain server loop; duplicates are random relabelings \
+                 of a hard random min-time instance (the expensive problem), \
+                 so warm hits are isomorphic, not byte-identical; cold = \
+                 cache disabled" );
+            ("requests", Packing.Telemetry.Int (Array.length stream));
+            ("unique", Packing.Telemetry.Int uniques);
+            ("duplicates", Packing.Telemetry.Int dups);
+            ( "duplicate_fraction",
+              Packing.Telemetry.Raw
+                (Printf.sprintf "%.2f"
+                   (float_of_int dups /. float_of_int (Array.length stream)))
+            );
+            ("cold_s", Packing.Telemetry.seconds cold_s);
+            ("warm_s", Packing.Telemetry.seconds warm_s);
+            ( "throughput_cold_rps",
+              Packing.Telemetry.Raw (Printf.sprintf "%.1f" (rps cold_s)) );
+            ( "throughput_warm_rps",
+              Packing.Telemetry.Raw (Printf.sprintf "%.1f" (rps warm_s)) );
+            ( "speedup",
+              Packing.Telemetry.Raw (Printf.sprintf "%.2f" speedup) );
+            ("cache", Packing.Telemetry.cache_to_json cache);
+            ( "acceptance",
+              Packing.Telemetry.Obj
+                [
+                  ("speedup_min", Packing.Telemetry.Raw "10.0");
+                  ("ok", Packing.Telemetry.Bool ok);
+                ] );
+          ]));
+  output_string oc "\n";
+  close_out oc;
+  Format.printf "  wrote BENCH_service.json@."
+
 let run_bechamel () =
   let open Bechamel in
   Format.printf "@.== Bechamel timings (monotonic clock per run) ==@.";
@@ -1089,6 +1232,7 @@ let () =
       ("engine", engine_bench);
       ("bounds", bounds_bench);
       ("trace", trace_bench);
+      ("service", service_bench);
       ("bechamel", run_bechamel);
     ]
   in

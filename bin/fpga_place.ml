@@ -163,6 +163,11 @@ let heartbeat_line (p : Packing.Telemetry.progress) =
   (match p.gap with Some g -> Printf.bprintf b " gap %d" g | None -> ());
   Buffer.contents b
 
+(* Heartbeats may fire concurrently from every domain of a parallel
+   solve; route them through one serialized writer so lines never
+   splice (the same funnel the serve subcommand uses for JSONL). *)
+let stderr_writer = lazy (Service.Writer.of_channel stderr)
+
 (* Install the --trace / --progress plumbing into solver options.
    Returns the adjusted options plus a closure that writes the trace
    file once the solve is done (events live in memory until then). *)
@@ -180,7 +185,11 @@ let with_observability options trace_file progress =
       {
         options with
         Packing.Opp_solver.progress_interval_s = interval;
-        on_heartbeat = Some (fun p -> prerr_endline (heartbeat_line p));
+        on_heartbeat =
+          Some
+            (fun p ->
+              Service.Writer.line (Lazy.force stderr_writer)
+                (heartbeat_line p));
       }
   in
   let write_trace () =
@@ -777,6 +786,94 @@ let trace_summary_cmd =
   in
   Cmd.v (Cmd.info "trace-summary" ~doc) Term.(const run $ trace_arg)
 
+let serve_cmd =
+  let serve_jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains draining the request stream; with N > 1 \
+                   responses appear in completion order (match them by id).")
+  in
+  let cache_size =
+    Arg.(value & opt int 1024
+         & info [ "cache-size" ] ~docv:"N"
+             ~doc:"Result-cache capacity in entries (LRU eviction).")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Disable the canonicalization-keyed result cache; every \
+                   request reaches the solver.")
+  in
+  let max_nodes =
+    Arg.(value & opt (some int) None
+         & info [ "max-nodes" ] ~docv:"N"
+             ~doc:"Server-side cap on per-request node budgets; request \
+                   budgets are clamped to it.")
+  in
+  let max_time =
+    Arg.(value & opt (some float) None
+         & info [ "max-time" ] ~docv:"S"
+             ~doc:"Server-side cap on per-request wall-clock budgets, \
+                   seconds; doubles as the default budget for requests that \
+                   name none.")
+  in
+  let solver_jobs =
+    Arg.(value & opt int 1
+         & info [ "solver-jobs" ] ~docv:"N"
+             ~doc:"Default solver domains per request (a request's own \
+                   \"jobs\" field overrides it).")
+  in
+  let heartbeat =
+    Arg.(value & opt ~vopt:(Some 1.0) (some float) None
+         & info [ "heartbeat" ] ~docv:"SECONDS"
+             ~doc:"Stream heartbeat and incumbent event lines \
+                   ({\"ev\":\"heartbeat\"|\"incumbent\"}) on this cadence \
+                   (default 1.0 when the flag is given bare).")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Serve a TCP socket on 127.0.0.1:$(docv) (one connection \
+                   at a time, same protocol and shared cache) instead of \
+                   stdin/stdout.")
+  in
+  let run serve_jobs cache_size no_cache max_nodes max_time solver_jobs
+      heartbeat port stats =
+    let config =
+      {
+        Service.Server.jobs = serve_jobs;
+        cache_capacity = cache_size;
+        use_cache = not no_cache;
+        max_nodes;
+        max_time_s = max_time;
+        heartbeat_s = heartbeat;
+        solver_jobs;
+      }
+    in
+    let server = Service.Server.create ~config () in
+    (match port with
+    | Some port -> Service.Server.serve_tcp server ~port
+    | None ->
+      let w = Service.Writer.of_channel stdout in
+      Service.Server.serve_channel server w stdin;
+      (match stats with
+      | Some `Json ->
+        Service.Writer.line w
+          (Packing.Telemetry.to_string (Service.Server.stats_json server))
+      | None -> ()));
+    0
+  in
+  let doc =
+    "Run the placement service: a JSONL request loop (stdin/stdout, or TCP \
+     with --port) multiplexing solve/min-time/min-area requests over a \
+     domain pool, with a canonicalization-keyed result cache in front of \
+     the solver. With --stats json, a final {\"ev\":\"stats\"} line reports \
+     request and cache counters at EOF."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ serve_jobs $ cache_size $ no_cache $ max_nodes
+          $ max_time $ solver_jobs $ heartbeat $ port $ stats_opt)
+
 let export_cmd =
   let which =
     Arg.(required & pos 0 (some (enum [ ("de", `De); ("codec", `Codec) ])) None
@@ -826,5 +923,6 @@ let () =
             vcd_cmd;
             ilp_cmd;
             export_cmd;
+            serve_cmd;
             trace_summary_cmd;
           ]))

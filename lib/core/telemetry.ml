@@ -89,6 +89,27 @@ let sub_bound_counters newer older =
     newer
 
 (* ------------------------------------------------------------------ *)
+(* Result-cache counters                                                *)
+(* ------------------------------------------------------------------ *)
+
+type cache_counters = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_entries : int;
+  cache_capacity : int;
+}
+
+let zero_cache ~capacity =
+  {
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+    cache_entries = 0;
+    cache_capacity = capacity;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Progress snapshots                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -204,6 +225,16 @@ let bounds_to_json (bs : bound_counters) =
                ("prunes", Int c.prunes);
              ] ))
        bs)
+
+let cache_to_json c =
+  Obj
+    [
+      ("hits", Int c.cache_hits);
+      ("misses", Int c.cache_misses);
+      ("evictions", Int c.cache_evictions);
+      ("entries", Int c.cache_entries);
+      ("capacity", Int c.cache_capacity);
+    ]
 
 let progress_to_json p =
   let opt f = function None -> Null | Some v -> f v in

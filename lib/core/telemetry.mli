@@ -51,6 +51,20 @@ val add_bound_counters : bound_counters -> bound_counters -> bound_counters
     prunes are dropped. *)
 val sub_bound_counters : bound_counters -> bound_counters -> bound_counters
 
+(** Counters of a bounded result cache ({!Service.Result_cache}): how
+    many lookups hit, missed, how many entries were evicted to respect
+    the bound, and the current fill level. *)
+type cache_counters = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_entries : int;
+  cache_capacity : int;
+}
+
+(** All-zero counters for a cache of the given capacity. *)
+val zero_cache : capacity:int -> cache_counters
+
 (** A periodic search-progress snapshot, produced by the wall-clock
     heartbeat of {!Opp_solver} (see [options.progress_interval_s]) and
     carried by {!Trace} progress events. [bracket] and [gap] are filled
@@ -95,6 +109,7 @@ val seconds : float -> json
 
 val rules_to_json : rule_counters -> json
 val bounds_to_json : bound_counters -> json
+val cache_to_json : cache_counters -> json
 val progress_to_json : progress -> json
 
 (** [of_string s] parses one JSON document (the inverse of

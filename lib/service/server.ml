@@ -1,0 +1,519 @@
+module T = Packing.Telemetry
+module Solver = Packing.Opp_solver
+module Problems = Packing.Problems
+module Instance = Packing.Instance
+module Placement = Geometry.Placement
+
+type config = {
+  jobs : int;
+  cache_capacity : int;
+  use_cache : bool;
+  max_nodes : int option;
+  max_time_s : float option;
+  heartbeat_s : float option;
+  solver_jobs : int;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    cache_capacity = 1024;
+    use_cache = true;
+    max_nodes = None;
+    max_time_s = None;
+    heartbeat_s = None;
+    solver_jobs = 1;
+  }
+
+(* Cached results live in canonical task space; only definitive ones
+   are ever stored (see [is_definitive]). *)
+type solved =
+  | R_feas of Problems.feasibility
+  | R_any of int Problems.anytime
+
+type t = {
+  config : config;
+  cache : solved Result_cache.t;
+  lock : Mutex.t;
+  mutable requests : int;
+  mutable errors : int;
+  mutable nodes_total : int;
+}
+
+let create ?(config = default_config) () =
+  let config = { config with jobs = max 1 config.jobs } in
+  {
+    config;
+    cache = Result_cache.create ~capacity:config.cache_capacity ();
+    lock = Mutex.create ();
+    requests = 0;
+    errors = 0;
+    nodes_total = 0;
+  }
+
+type meta = {
+  cache_hit : bool;
+  nodes : int;
+  elapsed_s : float;
+  digest : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type op = Op_solve | Op_min_time | Op_min_area
+
+let op_name = function
+  | Op_solve -> "solve"
+  | Op_min_time -> "min-time"
+  | Op_min_area -> "min-area"
+
+type request = {
+  id : T.json;
+  op : op;
+  io : Fpga.Instance_io.t;
+  chip : (int * int) option;
+  t_max : int option;
+  node_limit : int option;
+  time_limit_s : float option;
+  req_jobs : int option;
+}
+
+let error_response id code msg =
+  T.Obj
+    [
+      ("id", id);
+      ("error", T.Obj [ ("code", T.String code); ("message", T.String msg) ]);
+    ]
+
+(* Parse a request object. Errors carry the echoed id (when one was
+   readable) plus a typed code for the error response. *)
+let parse_request json =
+  let id = Option.value (T.member "id" json) ~default:T.Null in
+  let bad msg = Error (id, "bad-request", msg) in
+  match json with
+  | T.Obj _ -> (
+    let str k = Option.bind (T.member k json) T.to_string_opt in
+    let int_f k = Option.bind (T.member k json) T.to_int_opt in
+    let float_f k = Option.bind (T.member k json) T.to_float_opt in
+    match str "op" with
+    | None -> bad "missing or non-string \"op\""
+    | Some op_s -> (
+      let op =
+        match op_s with
+        | "solve" -> Some Op_solve
+        | "min-time" -> Some Op_min_time
+        | "min-area" -> Some Op_min_area
+        | _ -> None
+      in
+      match op with
+      | None ->
+        bad
+          (Printf.sprintf
+             "unknown op %S (known: solve, min-time, min-area)" op_s)
+      | Some op -> (
+        match str "instance" with
+        | None -> bad "missing or non-string \"instance\""
+        | Some text -> (
+          match Fpga.Instance_io.parse text with
+          | exception Failure msg -> bad ("instance: " ^ msg)
+          | io -> (
+            let chip =
+              match T.member "chip" json with
+              | None | Some T.Null -> Ok None
+              | Some (T.List [ a; b ]) -> (
+                match (T.to_int_opt a, T.to_int_opt b) with
+                | Some w, Some h when w > 0 && h > 0 -> Ok (Some (w, h))
+                | _ -> Error ())
+              | Some _ -> Error ()
+            in
+            match chip with
+            | Error () -> bad "\"chip\" must be [w, h] with positive integers"
+            | Ok chip ->
+              let positive k v =
+                match v with Some x when x <= 0 -> Error k | _ -> Ok v
+              in
+              let ( let* ) r f =
+                match r with
+                | Error k -> bad (Printf.sprintf "%S must be positive" k)
+                | Ok v -> f v
+              in
+              let* t_max = positive "time" (int_f "time") in
+              let* node_limit = positive "node_limit" (int_f "node_limit") in
+              let* req_jobs = positive "jobs" (int_f "jobs") in
+              let time_limit_s = float_f "time_limit_s" in
+              (match time_limit_s with
+              | Some s when s <= 0.0 ->
+                bad "\"time_limit_s\" must be positive"
+              | _ ->
+                Ok
+                  {
+                    id;
+                    op;
+                    io;
+                    chip;
+                    t_max;
+                    node_limit;
+                    time_limit_s;
+                    req_jobs;
+                  }))))))
+  | _ -> Error (T.Null, "parse", "request must be a JSON object")
+
+let resolve_chip req =
+  match req.chip with
+  | Some wh -> Ok wh
+  | None -> (
+    match req.io.Fpga.Instance_io.chip with
+    | Some c -> Ok (Fpga.Chip.width c, Fpga.Chip.height c)
+    | None ->
+      Error "no chip: pass \"chip\":[w,h] or a chip line in the instance")
+
+let resolve_time req =
+  match req.t_max with
+  | Some t -> Ok t
+  | None -> (
+    match req.io.Fpga.Instance_io.t_max with
+    | Some t -> Ok t
+    | None ->
+      Error "no time budget: pass \"time\":t or a time line in the instance")
+
+(* ------------------------------------------------------------------ *)
+(* Solving in canonical space                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_definitive = function
+  | R_feas (Problems.Sat _ | Problems.Unsat) -> true
+  | R_feas Problems.Undecided -> false
+  | R_any (Problems.Optimal _ | Problems.Infeasible) -> true
+  | R_any (Problems.Feasible_incumbent _ | Problems.Unknown _) -> false
+
+(* Budgets: the request's ask, clamped by the server-side caps; the
+   caps double as defaults for requests that name no budget. *)
+let min_opt a b =
+  match (a, b) with
+  | Some x, Some y -> Some (min x y)
+  | Some x, None | None, Some x -> Some x
+  | None, None -> None
+
+let options_for t req events =
+  let node_limit = min_opt req.node_limit t.config.max_nodes in
+  let deadline =
+    match min_opt req.time_limit_s t.config.max_time_s with
+    | None -> None
+    | Some s -> Some (Unix.gettimeofday () +. s)
+  in
+  let base = { Solver.default_options with node_limit; deadline } in
+  match t.config.heartbeat_s with
+  | None -> base
+  | Some interval ->
+    {
+      base with
+      progress_interval_s = interval;
+      on_heartbeat =
+        Some
+          (fun p ->
+            Writer.line events
+              (T.to_string
+                 (T.Obj
+                    [
+                      ("id", req.id);
+                      ("ev", T.String "heartbeat");
+                      ("progress", T.progress_to_json p);
+                    ])));
+    }
+
+(* Per-probe accounting for the minimization drivers: nodes always sum
+   into the request's total; feasible probes additionally stream an
+   incumbent event when heartbeats are on. *)
+let probe_hook t req events nodes_acc =
+  fun (p : Problems.probe) ->
+    nodes_acc := !nodes_acc + p.Problems.nodes;
+    match (t.config.heartbeat_s, p.Problems.verdict) with
+    | Some _, `Feasible ->
+      Writer.line events
+        (T.to_string
+           (T.Obj
+              [
+                ("id", req.id);
+                ("ev", T.String "incumbent");
+                ( "container",
+                  T.List
+                    (Array.to_list
+                       (Array.map
+                          (fun e -> T.Int e)
+                          (Geometry.Container.extents p.Problems.target))) );
+                ("nodes", T.Int p.Problems.nodes);
+              ]))
+    | _ -> ()
+
+let solve_request t req events (canon : Canonical.t) =
+  let inst = canon.Canonical.instance in
+  let jobs =
+    max 1 (Option.value req.req_jobs ~default:t.config.solver_jobs)
+  in
+  let options = options_for t req events in
+  let nodes = ref 0 in
+  let on_probe = probe_hook t req events nodes in
+  let solved =
+    match req.op with
+    | Op_solve ->
+      let w, h = Result.get_ok (resolve_chip req) in
+      let t_max = Result.get_ok (resolve_time req) in
+      let container = Geometry.Container.make3 ~w ~h ~t_max in
+      let outcome =
+        if jobs > 1 then begin
+          let r = Packing.Parallel_solver.solve ~options ~jobs inst container in
+          nodes := !nodes + r.Packing.Parallel_solver.stats.Solver.nodes;
+          r.Packing.Parallel_solver.outcome
+        end
+        else begin
+          let outcome, st = Solver.solve ~options inst container in
+          nodes := !nodes + st.Solver.nodes;
+          outcome
+        end
+      in
+      R_feas
+        (match outcome with
+        | Solver.Feasible p -> Problems.Sat p
+        | Solver.Infeasible -> Problems.Unsat
+        | Solver.Timeout -> Problems.Undecided)
+    | Op_min_time ->
+      let w, h = Result.get_ok (resolve_chip req) in
+      R_any (Problems.minimize_time ~options ~jobs ~on_probe inst ~w ~h)
+    | Op_min_area ->
+      let t_max = Result.get_ok (resolve_time req) in
+      R_any (Problems.minimize_base ~options ~jobs ~on_probe inst ~t_max)
+  in
+  (solved, !nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Response rendering (back in the request's own task space)           *)
+(* ------------------------------------------------------------------ *)
+
+let placement_json original placement =
+  let n = Instance.count original in
+  T.List
+    (List.init n (fun i ->
+         let o = Placement.origin placement i in
+         T.Obj
+           [
+             ("task", T.String (Instance.label original i));
+             ("at", T.List (Array.to_list (Array.map (fun x -> T.Int x) o)));
+           ]))
+
+let witness_fields canon ~original placement =
+  let restored = Canonical.restore_placement canon ~original placement in
+  [
+    ("makespan", T.Int (Placement.makespan restored));
+    ("placement", placement_json original restored);
+  ]
+
+let render req (canon : Canonical.t) solved =
+  let original = req.io.Fpga.Instance_io.instance in
+  let fields =
+    match solved with
+    | R_feas (Problems.Sat p) ->
+      ("status", T.String "feasible") :: witness_fields canon ~original p
+    | R_feas Problems.Unsat -> [ ("status", T.String "infeasible") ]
+    | R_feas Problems.Undecided -> [ ("status", T.String "undecided") ]
+    | R_any r -> (
+      ("status", T.String (Problems.status_string r))
+      ::
+      (match r with
+      | Problems.Optimal { value; placement } ->
+        ("value", T.Int value) :: witness_fields canon ~original placement
+      | Problems.Feasible_incumbent
+          { incumbent = { value; placement }; lower_bound; gap } ->
+        ("value", T.Int value)
+        :: ("lower_bound", T.Int lower_bound)
+        :: ("gap", T.Int gap)
+        :: witness_fields canon ~original placement
+      | Problems.Infeasible -> []
+      | Problems.Unknown { lower_bound } ->
+        [ ("lower_bound", T.Int lower_bound) ]))
+  in
+  T.Obj (("id", req.id) :: ("op", T.String (op_name req.op)) :: fields)
+
+(* ------------------------------------------------------------------ *)
+(* The request pipeline                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cache_key req (canon : Canonical.t) =
+  match req.op with
+  | Op_solve ->
+    let w, h = Result.get_ok (resolve_chip req) in
+    let t_max = Result.get_ok (resolve_time req) in
+    Printf.sprintf "solve:%dx%dx%d|%s" w h t_max canon.Canonical.key
+  | Op_min_time ->
+    let w, h = Result.get_ok (resolve_chip req) in
+    Printf.sprintf "min-time:%dx%d|%s" w h canon.Canonical.key
+  | Op_min_area ->
+    let t_max = Result.get_ok (resolve_time req) in
+    Printf.sprintf "min-area:%d|%s" t_max canon.Canonical.key
+
+let account t ~error ~nodes =
+  Mutex.protect t.lock (fun () ->
+      t.requests <- t.requests + 1;
+      if error then t.errors <- t.errors + 1;
+      t.nodes_total <- t.nodes_total + nodes)
+
+let handle_request t events req_json =
+  let t0 = Unix.gettimeofday () in
+  let finish ?(digest = "") ?(cache_hit = false) ?(nodes = 0) ~error resp =
+    account t ~error ~nodes;
+    ( resp,
+      { cache_hit; nodes; elapsed_s = Unix.gettimeofday () -. t0; digest } )
+  in
+  match parse_request req_json with
+  | Error (id, code, msg) -> finish ~error:true (error_response id code msg)
+  | Ok req -> (
+    (* every op needs its parameters resolvable before we spend work *)
+    let params_ok =
+      match req.op with
+      | Op_solve ->
+        Result.bind (resolve_chip req) (fun _ ->
+            Result.map ignore (resolve_time req))
+      | Op_min_time -> Result.map ignore (resolve_chip req)
+      | Op_min_area -> Result.map ignore (resolve_time req)
+    in
+    match params_ok with
+    | Error msg -> finish ~error:true (error_response req.id "bad-request" msg)
+    | Ok () -> (
+      match
+        let canon =
+          Canonical.of_instance req.io.Fpga.Instance_io.instance
+        in
+        let key = cache_key req canon in
+        let hit =
+          if t.config.use_cache then Result_cache.find t.cache key else None
+        in
+        match hit with
+        | Some solved ->
+          finish ~digest:canon.Canonical.digest ~cache_hit:true ~error:false
+            (render req canon solved)
+        | None ->
+          let solved, nodes = solve_request t req events canon in
+          if t.config.use_cache && is_definitive solved then
+            Result_cache.add t.cache key solved;
+          finish ~digest:canon.Canonical.digest ~nodes ~error:false
+            (render req canon solved)
+      with
+      | result -> result
+      | exception Failure msg ->
+        finish ~error:true (error_response req.id "bad-request" msg)
+      | exception Invalid_argument msg ->
+        finish ~error:true (error_response req.id "bad-request" msg)
+      | exception exn ->
+        finish ~error:true
+          (error_response req.id "internal" (Printexc.to_string exn))))
+
+let handle_line t w line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then ()
+  else begin
+    let resp =
+      match T.of_string line with
+      | Error msg ->
+        account t ~error:true ~nodes:0;
+        error_response T.Null "parse" msg
+      | Ok json -> (
+        match handle_request t w json with
+        | resp, _meta -> resp
+        | exception exn ->
+          (* handle_request already catches everything it can; this is
+             the last-resort belt so the loop never dies *)
+          account t ~error:true ~nodes:0;
+          error_response T.Null "internal" (Printexc.to_string exn))
+    in
+    Writer.line w (T.to_string resp)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Serving loops                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let serve_channel t w ic =
+  if t.config.jobs <= 1 then begin
+    try
+      while true do
+        handle_line t w (input_line ic)
+      done
+    with End_of_file -> ()
+  end
+  else begin
+    (* one reader (this domain), [jobs] handler domains draining a
+       shared queue; EOF closes the queue and every worker drains the
+       remainder before exiting *)
+    let q = Queue.create () in
+    let qlock = Mutex.create () in
+    let qcond = Condition.create () in
+    let closed = ref false in
+    let next () =
+      Mutex.lock qlock;
+      while Queue.is_empty q && not !closed do
+        Condition.wait qcond qlock
+      done;
+      let job = if Queue.is_empty q then None else Some (Queue.pop q) in
+      Mutex.unlock qlock;
+      job
+    in
+    let rec worker () =
+      match next () with
+      | None -> ()
+      | Some line ->
+        handle_line t w line;
+        worker ()
+    in
+    let domains =
+      Array.init t.config.jobs (fun _ -> Domain.spawn worker)
+    in
+    (try
+       while true do
+         let line = input_line ic in
+         Mutex.lock qlock;
+         Queue.push line q;
+         Condition.signal qcond;
+         Mutex.unlock qlock
+       done
+     with End_of_file -> ());
+    Mutex.lock qlock;
+    closed := true;
+    Condition.broadcast qcond;
+    Mutex.unlock qlock;
+    Array.iter Domain.join domains
+  end
+
+let serve_tcp t ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 8;
+  while true do
+    let fd, _peer = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let w = Writer.of_channel oc in
+    (try serve_channel t w ic with Sys_error _ | Unix.Unix_error _ -> ());
+    (try flush oc with Sys_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cache_counters t = Result_cache.counters t.cache
+
+let stats_json t =
+  let requests, errors, nodes =
+    Mutex.protect t.lock (fun () -> (t.requests, t.errors, t.nodes_total))
+  in
+  T.Obj
+    [
+      ("ev", T.String "stats");
+      ("requests", T.Int requests);
+      ("errors", T.Int errors);
+      ("nodes", T.Int nodes);
+      ("cache", T.cache_to_json (Result_cache.counters t.cache));
+    ]

@@ -1,0 +1,25 @@
+type t = {
+  emit : string -> unit;
+  lock : Mutex.t;
+  mutable written : int;
+}
+
+let of_channel oc =
+  {
+    emit =
+      (fun s ->
+        output_string oc s;
+        output_char oc '\n';
+        flush oc);
+    lock = Mutex.create ();
+    written = 0;
+  }
+
+let of_sink f = { emit = f; lock = Mutex.create (); written = 0 }
+
+let line t s =
+  Mutex.protect t.lock (fun () ->
+      t.emit s;
+      t.written <- t.written + 1)
+
+let lines_written t = Mutex.protect t.lock (fun () -> t.written)

@@ -1,0 +1,30 @@
+(** A serialized line writer: the single funnel through which every
+    concurrent producer of a JSONL stream must emit.
+
+    OCaml channels lock individual operations, not sequences of them, so
+    [output_string oc line; output_char oc '\n'; flush oc] from two
+    domains can interleave mid-line and corrupt the stream — exactly
+    what happened to {!Packing.Telemetry.progress} heartbeats when
+    several server workers shared stdout. [line] performs the whole
+    write-line-and-flush under one mutex, so a line is either absent or
+    intact, never spliced. *)
+
+type t
+
+(** [of_channel oc] writes each line to [oc] followed by a newline and a
+    flush, atomically with respect to other [line] calls on [t]. *)
+val of_channel : out_channel -> t
+
+(** [of_sink f] calls [f line] (without the newline) under the same
+    serialization guarantee — for tests and in-process collectors. The
+    sink runs with the writer's lock held: keep it cheap and never call
+    back into the same writer. *)
+val of_sink : (string -> unit) -> t
+
+(** [line t s] emits [s] as one atomic line. [s] must not itself contain
+    a newline (the caller is emitting JSONL; embedded newlines would be
+    a protocol bug upstream of this module). *)
+val line : t -> string -> unit
+
+(** Number of lines written so far. *)
+val lines_written : t -> int

@@ -1,0 +1,418 @@
+(* Tests for the placement service: the canonicalizer is invariant
+   under task relabeling and preserves the optimum, the result cache
+   replays byte-identical responses at zero solver nodes, the JSONL
+   loop survives malformed and over-budget requests, and concurrent
+   workers never splice heartbeat lines. *)
+
+module T = Packing.Telemetry
+module Instance = Packing.Instance
+module Solver = Packing.Opp_solver
+module Problems = Packing.Problems
+module Container = Geometry.Container
+module Placement = Geometry.Placement
+module Canonical = Service.Canonical
+module Server = Service.Server
+module Writer = Service.Writer
+
+let fixed_rand () =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> Random.State.make [| int_of_string s |]
+  | None -> Random.State.make [| 0x5E55; 2026 |]
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest ~rand:(fixed_rand ())
+    (QCheck.Test.make ~count ~name arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers: random instances, relabelings, request lines               *)
+(* ------------------------------------------------------------------ *)
+
+let random_perm rng n =
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  perm
+
+(* Relabel [inst] by a random permutation: box/label [k] of the result
+   is box/label [perm.(k)] of the input, arcs mapped through the
+   inverse. Same isomorphism class by construction. *)
+let permute_instance rng inst =
+  let n = Instance.count inst in
+  let perm = random_perm rng n in
+  let boxes = Array.init n (fun k -> Instance.box inst perm.(k)) in
+  let labels = Array.init n (fun k -> Instance.label inst perm.(k)) in
+  let pos = Array.make n 0 in
+  Array.iteri (fun k o -> pos.(o) <- k) perm;
+  let arcs =
+    List.map
+      (fun (u, v) -> (pos.(u), pos.(v)))
+      (Order.Partial_order.relations (Instance.precedence inst))
+  in
+  Instance.make ~name:(Instance.name inst) ~labels ~precedence:arcs ~boxes ()
+
+let arb_case =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* n = int_range 2 6 in
+      let* max_extent = int_range 1 3 in
+      let* max_duration = int_range 1 3 in
+      let* arc_probability = oneofl [ 0.0; 0.25; 0.5 ] in
+      let* shuffle_seed = int_range 0 1_000_000 in
+      return (seed, n, max_extent, max_duration, arc_probability, shuffle_seed))
+  in
+  QCheck.make gen ~print:(fun (seed, n, me, md, ap, ss) ->
+      Printf.sprintf
+        "seed=%d n=%d max_extent=%d max_duration=%d arcs=%.2f shuffle=%d" seed
+        n me md ap ss)
+
+let case_instance (seed, n, max_extent, max_duration, arc_probability, _) =
+  Benchmarks.Generate.random ~seed ~n ~max_extent ~max_duration
+    ~arc_probability ()
+
+let case_rng (_, _, _, _, _, shuffle_seed) =
+  Random.State.make [| shuffle_seed |]
+
+let request_line ~id ~op ?chip ?time ?node_limit inst =
+  let io = { Fpga.Instance_io.instance = inst; chip = None; t_max = None } in
+  T.to_string
+    (T.Obj
+       ([
+          ("id", T.String id);
+          ("op", T.String op);
+          ("instance", T.String (Fpga.Instance_io.print io));
+        ]
+       @ (match chip with
+         | Some (w, h) -> [ ("chip", T.List [ T.Int w; T.Int h ]) ]
+         | None -> [])
+       @ (match time with Some t -> [ ("time", T.Int t) ] | None -> [])
+       @
+       match node_limit with
+       | Some n -> [ ("node_limit", T.Int n) ]
+       | None -> []))
+
+let parse_json line =
+  match T.of_string line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparseable line %S: %s" line e
+
+let response_id j =
+  match T.member "id" j with
+  | Some (T.String s) -> Some s
+  | _ -> None
+
+let str_field name j =
+  match Option.bind (T.member name j) T.to_string_opt with
+  | Some s -> s
+  | None -> Alcotest.failf "missing %S in %s" name (T.to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalizer soundness                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_canonical_relabeling_invariant case =
+  let inst = case_instance case in
+  let rng = case_rng case in
+  let a = Canonical.of_instance inst in
+  let b = Canonical.of_instance (permute_instance rng inst) in
+  if a.Canonical.key <> b.Canonical.key then
+    QCheck.Test.fail_reportf "keys differ:\n%s\n%s" a.Canonical.key
+      b.Canonical.key;
+  if a.Canonical.digest <> b.Canonical.digest then
+    QCheck.Test.fail_report "digests differ for equal keys";
+  (* equal keys must mean structurally identical representatives *)
+  let ia = a.Canonical.instance and ib = b.Canonical.instance in
+  Instance.boxes ia = Instance.boxes ib
+  && Order.Partial_order.relations (Instance.precedence ia)
+     = Order.Partial_order.relations (Instance.precedence ib)
+
+let prop_canonical_optimum_preserved case =
+  let inst = case_instance case in
+  let canon = (Canonical.of_instance inst).Canonical.instance in
+  let value = function
+    | Problems.Optimal { Problems.value; _ } -> Some value
+    | Problems.Infeasible -> None
+    | r ->
+      QCheck.Test.fail_reportf "unbudgeted minimize_time returned %s"
+        (Problems.status_string r)
+  in
+  let vo = value (Problems.minimize_time inst ~w:6 ~h:6) in
+  let vc = value (Problems.minimize_time canon ~w:6 ~h:6) in
+  if vo <> vc then
+    QCheck.Test.fail_reportf "optimum changed under canonicalization: %s vs %s"
+      (match vo with Some v -> string_of_int v | None -> "infeasible")
+      (match vc with Some v -> string_of_int v | None -> "infeasible");
+  true
+
+let prop_restore_placement_feasible case =
+  let inst = case_instance case in
+  let c = Canonical.of_instance inst in
+  let t_max = Instance.total_duration inst in
+  let container = Container.make3 ~w:6 ~h:6 ~t_max in
+  match Solver.solve c.Canonical.instance container with
+  | Solver.Feasible p, _ ->
+    let restored = Canonical.restore_placement c ~original:inst p in
+    Placement.is_feasible restored ~container
+      ~precedes:(Instance.precedes inst)
+  | (Solver.Infeasible | Solver.Timeout), _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Cache correctness: byte-identical warm replay, exact hit counts     *)
+(* ------------------------------------------------------------------ *)
+
+(* A shuffled stream mixing unique instances with permuted duplicates.
+   Returns the request lines plus the number of requests that share an
+   earlier request's cache identity (computed with the same
+   canonicalizer, so accidental isomorphisms between "unique" instances
+   are counted correctly, not guessed). *)
+let duplicate_stream case =
+  let rng = case_rng case in
+  let uniques =
+    List.init 3 (fun i ->
+        let seed, n, me, md, ap, _ = case in
+        Benchmarks.Generate.random
+          ~seed:(seed + (7919 * (i + 1)))
+          ~n ~max_extent:me ~max_duration:md ~arc_probability:ap ())
+  in
+  let base = case_instance case in
+  let dups = List.init 3 (fun _ -> permute_instance rng base) in
+  let insts = Array.of_list (uniques @ (base :: dups)) in
+  for i = Array.length insts - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = insts.(i) in
+    insts.(i) <- insts.(j);
+    insts.(j) <- tmp
+  done;
+  let seen = Hashtbl.create 8 in
+  let expected_hits = ref 0 in
+  Array.iter
+    (fun inst ->
+      (* op and chip are fixed, so cache identity varies only with the
+         canonical key and the per-instance time budget *)
+      let k =
+        ((Canonical.of_instance inst).Canonical.key,
+         Instance.total_duration inst)
+      in
+      if Hashtbl.mem seen k then incr expected_hits else Hashtbl.add seen k ())
+    insts;
+  let lines =
+    Array.to_list
+      (Array.mapi
+         (fun i inst ->
+           request_line ~id:(Printf.sprintf "r%d" i) ~op:"solve" ~chip:(8, 8)
+             ~time:(Instance.total_duration inst) inst)
+         insts)
+  in
+  (lines, !expected_hits)
+
+let run_stream ~use_cache lines =
+  let config = { Server.default_config with Server.use_cache } in
+  let server = Server.create ~config () in
+  let responses = Hashtbl.create 16 in
+  let w =
+    Writer.of_sink (fun line ->
+        match response_id (parse_json line) with
+        | Some id -> Hashtbl.replace responses id line
+        | None -> Alcotest.failf "response without id: %s" line)
+  in
+  List.iter (fun l -> Server.handle_line server w l) lines;
+  (responses, Server.cache_counters server)
+
+let prop_warm_replay_byte_identical case =
+  let lines, expected_hits = duplicate_stream case in
+  let cold, _ = run_stream ~use_cache:false lines in
+  let warm, counters = run_stream ~use_cache:true lines in
+  if Hashtbl.length cold <> Hashtbl.length warm then
+    QCheck.Test.fail_reportf "response counts differ: %d cold vs %d warm"
+      (Hashtbl.length cold) (Hashtbl.length warm);
+  Hashtbl.iter
+    (fun id cold_line ->
+      match Hashtbl.find_opt warm id with
+      | Some warm_line when String.equal cold_line warm_line -> ()
+      | Some warm_line ->
+        QCheck.Test.fail_reportf "response for %s differs:\ncold %s\nwarm %s"
+          id cold_line warm_line
+      | None -> QCheck.Test.fail_reportf "no warm response for %s" id)
+    cold;
+  if counters.T.cache_hits <> expected_hits then
+    QCheck.Test.fail_reportf "expected %d cache hits, counted %d"
+      expected_hits counters.T.cache_hits;
+  true
+
+(* The acceptance-criterion test: an isomorphic duplicate of an already
+   answered request is served from the cache at zero solver nodes, with
+   the exact response a cold solve would have produced. *)
+let test_hit_path_zero_nodes () =
+  let rng = Random.State.make [| 42 |] in
+  let inst = Benchmarks.De.instance in
+  let server = Server.create () in
+  let events = Writer.of_sink (fun _ -> ()) in
+  let req inst = parse_json (request_line ~id:"q" ~op:"min-time" ~chip:(17, 17) inst) in
+  let r1, m1 = Server.handle_request server events (req inst) in
+  let r2, m2 = Server.handle_request server events (req (permute_instance rng inst)) in
+  Alcotest.(check bool) "first request misses" false m1.Server.cache_hit;
+  Alcotest.(check bool) "first request searches" true (m1.Server.nodes > 0);
+  Alcotest.(check bool) "isomorphic duplicate hits" true m2.Server.cache_hit;
+  Alcotest.(check int) "hit path costs zero solver nodes" 0 m2.Server.nodes;
+  Alcotest.(check string) "same canonical digest" m1.Server.digest
+    m2.Server.digest;
+  (* both requests carry the duplicate's own labels only through the
+     witness; with identical labels the rendered bytes must agree *)
+  Alcotest.(check string) "status agrees" (str_field "status" r1)
+    (str_field "status" r2);
+  Alcotest.(check string) "objective agrees"
+    (T.to_string (Option.get (T.member "value" r1)))
+    (T.to_string (Option.get (T.member "value" r2)))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end JSONL loop: malformed and over-budget requests           *)
+(* ------------------------------------------------------------------ *)
+
+let with_request_channel lines f =
+  let path = Filename.temp_file "service_test" ".jsonl" in
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () ->
+      close_in_noerr ic;
+      Sys.remove path)
+    (fun () -> f ic)
+
+let test_server_loop_survives () =
+  let de = Benchmarks.De.instance in
+  let lines =
+    [
+      request_line ~id:"r1" ~op:"solve" ~chip:(17, 17) ~time:13 de;
+      "";
+      "# comments and blank lines are ignored";
+      {|{"id":"bad", this is not json|};
+      request_line ~id:"r2" ~op:"min-time" ~chip:(17, 17) de;
+      request_line ~id:"r3" ~op:"solve" ~chip:(17, 17) ~time:12 ~node_limit:5
+        de;
+    ]
+  in
+  let out = ref [] in
+  let w = Writer.of_sink (fun l -> out := l :: !out) in
+  let server = Server.create () in
+  with_request_channel lines (fun ic -> Server.serve_channel server w ic);
+  let responses = List.rev_map parse_json !out in
+  Alcotest.(check int) "one line per request, none for noise" 4
+    (List.length responses);
+  let by_id id =
+    match
+      List.find_opt (fun j -> response_id j = id) responses
+    with
+    | Some j -> j
+    | None -> Alcotest.failf "no response for %s" (T.to_string (T.Obj []))
+  in
+  let parse_error =
+    List.find_opt (fun j -> T.member "id" j = Some T.Null) responses
+  in
+  (match parse_error with
+  | Some j ->
+    let code =
+      match Option.bind (T.member "error" j) (T.member "code") with
+      | Some (T.String s) -> s
+      | _ -> "?"
+    in
+    Alcotest.(check string) "malformed line gets a typed parse error"
+      "parse" code
+  | None -> Alcotest.fail "malformed line produced no error response");
+  Alcotest.(check string) "solve at the optimum is feasible" "feasible"
+    (str_field "status" (by_id (Some "r1")));
+  let r2 = by_id (Some "r2") in
+  Alcotest.(check string) "min-time is optimal" "optimal"
+    (str_field "status" r2);
+  Alcotest.(check int) "DE min-time optimum on 17x17" 13
+    (match Option.bind (T.member "value" r2) T.to_int_opt with
+    | Some v -> v
+    | None -> -1);
+  Alcotest.(check string) "over-budget request gets a typed undecided"
+    "undecided"
+    (str_field "status" (by_id (Some "r3")))
+
+(* ------------------------------------------------------------------ *)
+(* Writer under concurrency: no spliced heartbeat lines                *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_heartbeats_not_interleaved () =
+  let rng = Random.State.make [| 7 |] in
+  let hard =
+    Benchmarks.Generate.random ~seed:101 ~n:10 ~max_extent:4 ~max_duration:3
+      ~arc_probability:0.15 ()
+  in
+  let lines =
+    List.init 8 (fun i ->
+        request_line
+          ~id:(Printf.sprintf "r%d" i)
+          ~op:"min-time" ~chip:(6, 6)
+          (permute_instance rng hard))
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.jobs = 4;
+      use_cache = false (* every worker must actually search and emit *);
+      heartbeat_s = Some 0.0;
+    }
+  in
+  let server = Server.create ~config () in
+  let out = ref [] in
+  let w = Writer.of_sink (fun l -> out := l :: !out) in
+  with_request_channel lines (fun ic -> Server.serve_channel server w ic);
+  let parsed = List.rev_map parse_json !out in
+  let heartbeats =
+    List.filter
+      (fun j ->
+        match T.member "ev" j with Some (T.String "heartbeat") -> true | _ -> false)
+      parsed
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "heartbeats were streamed (%d lines total)"
+       (List.length parsed))
+    true
+    (List.length heartbeats > 0);
+  let answered =
+    List.filter (fun j -> T.member "status" j <> None) parsed
+  in
+  Alcotest.(check int) "every request answered" 8 (List.length answered)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "canonical",
+        [
+          qtest ~count:100 "key invariant under relabeling" arb_case
+            prop_canonical_relabeling_invariant;
+          qtest ~count:25 "optimum preserved" arb_case
+            prop_canonical_optimum_preserved;
+          qtest ~count:40 "restored witness feasible" arb_case
+            prop_restore_placement_feasible;
+        ] );
+      ( "cache",
+        [
+          qtest ~count:12 "warm replay is byte-identical, hits exact"
+            arb_case prop_warm_replay_byte_identical;
+          Alcotest.test_case "isomorphic hit costs zero nodes" `Quick
+            test_hit_path_zero_nodes;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "loop survives malformed and over-budget" `Quick
+            test_server_loop_survives;
+          Alcotest.test_case "concurrent heartbeats stay line-atomic" `Quick
+            test_concurrent_heartbeats_not_interleaved;
+        ] );
+    ]
