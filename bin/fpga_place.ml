@@ -95,8 +95,10 @@ let jobs_opt =
   Arg.(value & opt int 1
        & info [ "jobs"; "j" ] ~docv:"N"
            ~doc:"Worker domains for the search; 1 runs sequentially, N > 1 \
-                 splits the root of the branch-and-bound tree over N domains \
-                 plus a flipped-branch-order portfolio arm.")
+                 runs a work-stealing pool: each domain donates alternative \
+                 branches from shallow nodes of its subtree and steals the \
+                 shallowest available subtree from the fullest victim when \
+                 dry.")
 
 let time_limit_opt =
   Arg.(value & opt (some float) None
@@ -275,8 +277,8 @@ let solve_cmd =
             Format.printf "%s@." (Packing.Parallel_solver.report_to_json r)
           | None -> ());
           finish r.Packing.Parallel_solver.outcome (fun fmt ->
-              Format.fprintf fmt "%d jobs, %d subproblems, %a" r.jobs
-                r.subproblems Packing.Opp_solver.pp_stats
+              Format.fprintf fmt "%d jobs, %d tasks, %d steals, %a" r.jobs
+                r.tasks r.steals Packing.Opp_solver.pp_stats
                 r.Packing.Parallel_solver.stats)
         end
         else begin

@@ -3,6 +3,18 @@ type outcome =
   | Infeasible
   | Timeout
 
+type decision = {
+  dim : int;
+  u : int;
+  v : int;
+  overlap : bool;
+}
+
+type share = {
+  offer : path:decision array -> len:int -> alt:decision -> int option;
+  reclaim : int -> bool;
+}
+
 type stats = {
   nodes : int;
   conflicts : int;
@@ -78,8 +90,24 @@ let poll_mask = 31
    threaded through references so [solve] and [solve_state] share the
    code; [depth_offset] lets a caller account for decisions replayed
    into [state] before the search started. *)
-let search ~options ~t0 ~depth_offset ?(bounds0 = []) state =
+let search ~options ~t0 ~depth_offset ?(bounds0 = []) ?share state =
   let nodes = ref 0 and conflicts = ref 0 and leaves = ref 0 in
+  (* The decision path from this search's root, maintained only when a
+     work-stealing [share] is attached: slot [d] holds the branch taken
+     at local depth [d] along the current DFS path, so an [offer] can
+     describe the alternative subtree as a compact decision prefix
+     without copying any state. *)
+  let dummy_decision = { dim = 0; u = 0; v = 0; overlap = false } in
+  let path = ref (if share = None then [||] else Array.make 64 dummy_decision) in
+  let set_path d dec =
+    let n = Array.length !path in
+    if d >= n then begin
+      let bigger = Array.make (2 * (d + 1)) dummy_decision in
+      Array.blit !path 0 bigger 0 n;
+      path := bigger
+    end;
+    !path.(d) <- dec
+  in
   let max_depth = ref depth_offset in
   let realize_attempts = ref 0 and realize_time = ref 0.0 in
   (* Throttle state: trail size and node index of the last opportunistic
@@ -278,21 +306,45 @@ let search ~options ~t0 ~depth_offset ?(bounds0 = []) state =
       | None -> incr conflicts)
     | Some (dim, u, v) ->
       Trace.decision trace ~recorded ~depth ~dim ~u ~v;
-      let branch assign =
+      let branch overlap =
         let marks = Packing_state.mark state in
-        (match assign state ~dim u v with
+        let r =
+          if overlap then Packing_state.assign_component state ~dim u v
+          else Packing_state.assign_comparable state ~dim u v
+        in
+        (match r with
         | Ok () -> dfs (depth + 1)
         | Error _ -> incr conflicts);
         Packing_state.undo_to state marks
       in
-      if options.component_first then begin
-        branch Packing_state.assign_component;
-        branch Packing_state.assign_comparable
-      end
-      else begin
-        branch Packing_state.assign_comparable;
-        branch Packing_state.assign_component
-      end
+      let first = options.component_first in
+      (match share with
+      | None ->
+        branch first;
+        branch (not first)
+      | Some s ->
+        (* Work-stealing protocol at a branch point: before descending
+           the first branch, offer the second one to the local deque (it
+           is accepted only when the deque is hungry). After the first
+           branch returns, try to take the offer back: a successful
+           [reclaim] means nobody stole it, so the second branch runs in
+           place on the live state — the execution order is then exactly
+           the sequential DFS order. A failed reclaim means a thief owns
+           that subtree and this node is done. *)
+        let d_local = depth - depth_offset - 1 in
+        let second = { dim; u; v; overlap = not first } in
+        let token = s.offer ~path:!path ~len:d_local ~alt:second in
+        set_path d_local { dim; u; v; overlap = first };
+        branch first;
+        (match token with
+        | None ->
+          set_path d_local second;
+          branch (not first)
+        | Some tok ->
+          if s.reclaim tok then begin
+            set_path d_local second;
+            branch (not first)
+          end))
   in
   try
     dfs (depth_offset + 1);
@@ -303,8 +355,8 @@ let search ~options ~t0 ~depth_offset ?(bounds0 = []) state =
     finish (Feasible placement) ~by_bounds:false ~by_heuristic:false
   | Stopped -> finish Timeout ~by_bounds:false ~by_heuristic:false
 
-let solve_state ?(options = default_options) ?(depth_offset = 0) state =
-  search ~options ~t0:(Unix.gettimeofday ()) ~depth_offset state
+let solve_state ?(options = default_options) ?(depth_offset = 0) ?share state =
+  search ~options ~t0:(Unix.gettimeofday ()) ~depth_offset ?share state
 
 let solve ?(options = default_options) ?schedule inst cont =
   let t0 = Unix.gettimeofday () in

@@ -19,6 +19,42 @@ type outcome =
       (** a budget expired: the node limit, the wall-clock deadline, or
           a cooperative {!options.interrupt} *)
 
+(** One branching decision of the search: pair [(u, v)] in dimension
+    [dim], [overlap] choosing component (projections overlap) versus
+    comparability (projections disjoint). A sequence of decisions from
+    the root is a compact subtree descriptor: replaying it on a fresh
+    state reaches the same node ({!Parallel_solver.replay}). *)
+type decision = {
+  dim : int;
+  u : int;
+  v : int;
+  overlap : bool;
+}
+
+(** Work-sharing hooks for the {!Parallel_solver} stealing kernel,
+    called at branch points of the search ([None] everywhere else —
+    the sequential path pays nothing).
+
+    At every binary branch point the search first calls
+    [offer ~path ~len ~alt]: [path] is the decision stack of this
+    search (only the first [len] slots are meaningful — the decisions
+    from the search root to the current node, outermost first; the
+    array is reused across calls and must be copied if retained) and
+    [alt] is the branch the search will explore {e second}. The hook
+    either declines ([None], e.g. when the local deque already holds
+    enough work) or queues the descriptor and returns a token.
+
+    After the first branch returns, the search calls [reclaim token]:
+    [true] means the descriptor was still in the local deque (nobody
+    stole it) and has been removed — the search then runs the second
+    branch in place on the live state, preserving the exact sequential
+    DFS order; [false] means a thief owns that subtree and the node is
+    done. Both hooks run on the search's own domain. *)
+type share = {
+  offer : path:decision array -> len:int -> alt:decision -> int option;
+  reclaim : int -> bool;
+}
+
 type stats = {
   nodes : int; (** branch-and-bound nodes visited *)
   conflicts : int; (** propagation failures (pruned branches) *)
@@ -134,16 +170,21 @@ val solve :
   Geometry.Container.t ->
   outcome * stats
 
-(** [solve_state ?options ?depth_offset state] runs the stage-3 search
-    alone, from an already-initialized (and possibly partially decided)
-    {!Packing_state.t}. Stages 1 and 2 are skipped regardless of
-    [options]; [depth_offset] credits decisions replayed into [state]
-    before the call so [stats.max_depth] reflects the true depth. The
-    state is consumed by the search (a [Feasible] exit does not unwind
-    its trail); create a fresh one per call. This is the worker entry
-    point of {!Parallel_solver}. *)
+(** [solve_state ?options ?depth_offset ?share state] runs the stage-3
+    search alone, from an already-initialized (and possibly partially
+    decided) {!Packing_state.t}. Stages 1 and 2 are skipped regardless
+    of [options]; [depth_offset] credits decisions replayed into
+    [state] before the call so [stats.max_depth] reflects the true
+    depth. The state is consumed by the search (a [Feasible] exit does
+    not unwind its trail); create a fresh one per call. [share]
+    attaches the work-stealing hooks (see {!share}). This is the
+    worker entry point of {!Parallel_solver}. *)
 val solve_state :
-  ?options:options -> ?depth_offset:int -> Packing_state.t -> outcome * stats
+  ?options:options ->
+  ?depth_offset:int ->
+  ?share:share ->
+  Packing_state.t ->
+  outcome * stats
 
 (** [feasible instance container] is [solve] reduced to a boolean.
     [Error `Timeout] reports an exhausted budget instead of raising, so

@@ -1,21 +1,124 @@
 module Placement = Geometry.Placement
 
-type decision = {
+type decision = Opp_solver.decision = {
   dim : int;
   u : int;
   v : int;
   overlap : bool;
 }
 
-type split =
-  | Root_infeasible of string
-  | Subproblems of decision list list
+(* ------------------------------------------------------------------ *)
+(* Work-stealing deque                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Deque = struct
+  (* Chase–Lev-shaped: the owner pushes and pops at the bottom (LIFO,
+     for locality and for the in-place reclaim protocol), thieves steal
+     at the top (FIFO — the oldest descriptor is the shallowest, hence
+     the largest subtree). A single mutex guards each deque: the owner
+     touches it only at donation/reclaim points — gated so at most a
+     handful of descriptors exist per worker at any time — and thieves
+     only when they have run dry, so the lock is uncontended in the
+     steady state and every operation is trivially linearizable (which
+     the qcheck stress test pins). A lock-free Chase–Lev buffer could
+     drop in behind this signature without touching the kernel. *)
+  type 'a t = {
+    lock : Mutex.t;
+    mutable buf : 'a option array;
+    mutable head : int; (* ring index of the oldest element *)
+    mutable count : int;
+    size_hint : int Atomic.t; (* approximate size, readable lock-free *)
+  }
+
+  let create () =
+    {
+      lock = Mutex.create ();
+      buf = Array.make 16 None;
+      head = 0;
+      count = 0;
+      size_hint = Atomic.make 0;
+    }
+
+  let grow d =
+    let n = Array.length d.buf in
+    let bigger = Array.make (2 * n) None in
+    for i = 0 to d.count - 1 do
+      bigger.(i) <- d.buf.((d.head + i) mod n)
+    done;
+    d.buf <- bigger;
+    d.head <- 0
+
+  let push d x =
+    Mutex.lock d.lock;
+    if d.count = Array.length d.buf then grow d;
+    d.buf.((d.head + d.count) mod Array.length d.buf) <- Some x;
+    d.count <- d.count + 1;
+    Atomic.set d.size_hint d.count;
+    Mutex.unlock d.lock
+
+  let pop d =
+    Mutex.lock d.lock;
+    let r =
+      if d.count = 0 then None
+      else begin
+        let i = (d.head + d.count - 1) mod Array.length d.buf in
+        let x = d.buf.(i) in
+        d.buf.(i) <- None;
+        d.count <- d.count - 1;
+        x
+      end
+    in
+    Atomic.set d.size_hint d.count;
+    Mutex.unlock d.lock;
+    r
+
+  let pop_if d p =
+    Mutex.lock d.lock;
+    let r =
+      if d.count = 0 then None
+      else begin
+        let i = (d.head + d.count - 1) mod Array.length d.buf in
+        match d.buf.(i) with
+        | Some x when p x ->
+          d.buf.(i) <- None;
+          d.count <- d.count - 1;
+          Some x
+        | _ -> None
+      end
+    in
+    Atomic.set d.size_hint d.count;
+    Mutex.unlock d.lock;
+    r
+
+  let steal d =
+    Mutex.lock d.lock;
+    let r =
+      if d.count = 0 then None
+      else begin
+        let x = d.buf.(d.head) in
+        d.buf.(d.head) <- None;
+        d.head <- (d.head + 1) mod Array.length d.buf;
+        d.count <- d.count - 1;
+        x
+      end
+    in
+    Atomic.set d.size_hint d.count;
+    Mutex.unlock d.lock;
+    r
+
+  let size d = Atomic.get d.size_hint
+end
+
+(* A subtree descriptor: the branching decisions from the search root
+   to the subtree's root, never a copied state. [depth] caches the
+   prefix length; [id] gives the owner's reclaim protocol a cheap
+   identity check. *)
+type task = { id : int; prefix : decision list; depth : int }
 
 type worker_report = {
   worker : int;
-  arm : string;
-  solved : int;
-  arm_elapsed_s : (string * float) list;
+  work : Telemetry.steal_counters;
+  elapsed_s : float;
   stats : Opp_solver.stats;
 }
 
@@ -23,79 +126,14 @@ type report = {
   outcome : Opp_solver.outcome;
   stats : Opp_solver.stats;
   workers : worker_report list;
-  subproblems : int;
+  tasks : int;
+  steals : int;
   jobs : int;
 }
 
 (* ------------------------------------------------------------------ *)
-(* Root splitting                                                      *)
+(* Prefix replay                                                       *)
 (* ------------------------------------------------------------------ *)
-
-(* The split enumerates the depth-[depth] frontier of the sequential
-   tree: starting from the propagated root state, repeatedly take the
-   solver's own branching variable and descend both ways, recording the
-   decision prefixes that survive propagation. Prefixes killed by
-   propagation are exactly the subtrees the sequential search would
-   prune at the same point, so the union of the surviving subproblems'
-   outcomes equals the unsplit outcome. Precedence arcs are seeded as
-   decided comparability edges at [Packing_state.create] time, hence
-   never appear among the unknown pairs — a split can never branch on a
-   DAG arc. *)
-let split_root ?(options = Opp_solver.default_options) ?schedule ~depth inst
-    cont =
-  match
-    Packing_state.create ~rules:options.Opp_solver.rules ?schedule
-      ~trace:options.Opp_solver.trace inst cont
-  with
-  | Error reason -> Root_infeasible reason
-  | Ok st ->
-    (* Prune surviving prefixes with the bound engine before they are
-       dispatched to a domain: an [Infeasible] verdict on the committed
-       time arcs is an exact refutation of the whole subtree, so
-       dropping the prefix preserves the union of outcomes. *)
-    let engine =
-      match options.Opp_solver.node_bounds with
-      | Opp_solver.Realize_never -> None
-      | _ -> Some (Bound_engine.create ~trace:options.Opp_solver.trace ())
-    in
-    let refuted () =
-      match engine with
-      | None -> false
-      | Some e -> (
-        match
-          Bound_engine.check_oriented e inst cont
-            ~sequencing:(Packing_state.time_sequencing st)
-        with
-        | Bound_engine.Infeasible _ -> true
-        | Bound_engine.Lower_bound _ | Bound_engine.Inconclusive -> false)
-    in
-    let acc = ref [] in
-    let rec go prefix d =
-      match if d = 0 then None else Packing_state.choose_unknown st with
-      | None -> if not (refuted ()) then acc := List.rev prefix :: !acc
-      | Some (dim, u, v) ->
-        let branch overlap =
-          let marks = Packing_state.mark st in
-          let r =
-            if overlap then Packing_state.assign_component st ~dim u v
-            else Packing_state.assign_comparable st ~dim u v
-          in
-          (match r with
-          | Ok () -> go ({ dim; u; v; overlap } :: prefix) (d - 1)
-          | Error _ -> ());
-          Packing_state.undo_to st marks
-        in
-        if options.Opp_solver.component_first then begin
-          branch true;
-          branch false
-        end
-        else begin
-          branch false;
-          branch true
-        end
-    in
-    go [] depth;
-    Subproblems (List.rev !acc)
 
 let replay ?(options = Opp_solver.default_options) ?schedule inst cont
     decisions =
@@ -118,280 +156,344 @@ let replay ?(options = Opp_solver.default_options) ?schedule inst cont
     in
     go decisions
 
-let default_split_depth ~jobs =
-  (* Aim for ~4 subproblems per worker so the queue stays busy even
-     when subtree sizes are skewed; cap the depth to keep the split
-     enumeration itself negligible. *)
-  let target = 4 * jobs in
-  let rec go k width =
-    if width >= target || k >= 10 then k else go (k + 1) (width * 2)
-  in
-  go 0 1
-
 (* ------------------------------------------------------------------ *)
-(* The pool                                                            *)
+(* The work-stealing pool                                              *)
 (* ------------------------------------------------------------------ *)
 
-let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2)
-    ?split_depth inst cont =
+(* A worker offers an alternative branch only while its deque holds
+   fewer than this many descriptors. Keeping the target small bounds
+   both the replay cost thieves pay and the number of subtrees ripped
+   out of the owner's sequential order; regeneration is continuous, so
+   a hungry deque refills at the next branch point anyway. *)
+let deque_target = 4
+
+let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2) inst
+    cont =
   let jobs = max 1 jobs in
   let t0 = Unix.gettimeofday () in
   let trace = options.Opp_solver.trace in
-  let finish outcome stats workers ~subproblems =
-    let stats = { stats with Opp_solver.elapsed = Unix.gettimeofday () -. t0 } in
-    { outcome; stats; workers; subproblems; jobs }
+  let finish outcome stats workers ~tasks ~steals =
+    let stats =
+      { stats with Opp_solver.elapsed = Unix.gettimeofday () -. t0 }
+    in
+    { outcome; stats; workers; tasks; steals; jobs }
   in
-  (* Stages 1 and 2 run once, sequentially — they are cheap and settle
-     most easy instances before any domain is spawned. *)
-  let root_engine =
-    if options.Opp_solver.use_bounds then Some (Bound_engine.create ~trace ())
-    else None
-  in
-  let root_verdict =
-    match root_engine with
-    | None -> Bound_engine.Inconclusive
-    | Some e -> Bound_engine.check e inst cont
-  in
-  let bounds0 =
-    match root_engine with
-    | None -> []
-    | Some e -> Bound_engine.counters e
-  in
-  let prestage_report outcome ~conflicts ~by_bounds ~by_heuristic =
-    finish outcome
-      {
-        Opp_solver.empty_stats with
-        Opp_solver.conflicts;
-        by_bounds;
-        by_heuristic;
-        bounds = bounds0;
-      }
-      [] ~subproblems:0
-  in
-  match root_verdict with
-  | Bound_engine.Infeasible _ ->
-    prestage_report Opp_solver.Infeasible ~conflicts:0 ~by_bounds:true
-      ~by_heuristic:false
-  | Bound_engine.Lower_bound _ | Bound_engine.Inconclusive -> begin
-    let heuristic_hit =
-      if
-        options.Opp_solver.use_heuristic
-        && schedule = None
-        && Instance.dim inst = 3
-      then Heuristic.pack inst cont
+  if jobs = 1 then begin
+    (* Short-circuit: no deques, no domains, no descriptor machinery —
+       the sequential solver runs on the calling domain and its stats
+       are reported unchanged. *)
+    let outcome, stats = Opp_solver.solve ~options ?schedule inst cont in
+    finish outcome stats
+      [
+        {
+          worker = 0;
+          work = Telemetry.zero_steals;
+          elapsed_s = stats.Opp_solver.elapsed;
+          stats;
+        };
+      ]
+      ~tasks:0 ~steals:0
+  end
+  else begin
+    (* Stages 1 and 2 run once, sequentially — they are cheap and settle
+       most easy instances before any domain is spawned. *)
+    let root_engine =
+      if options.Opp_solver.use_bounds then Some (Bound_engine.create ~trace ())
       else None
     in
-    match heuristic_hit with
-    | Some placement ->
-      prestage_report (Opp_solver.Feasible placement) ~conflicts:0
-        ~by_bounds:false ~by_heuristic:true
-    | None -> (
-      let depth =
-        match split_depth with
-        | Some d -> max 0 d
-        | None -> default_split_depth ~jobs
+    let root_verdict =
+      match root_engine with
+      | None -> Bound_engine.Inconclusive
+      | Some e -> Bound_engine.check e inst cont
+    in
+    let bounds0 =
+      match root_engine with
+      | None -> []
+      | Some e -> Bound_engine.counters e
+    in
+    let prestage_report outcome ~conflicts ~by_bounds ~by_heuristic =
+      finish outcome
+        {
+          Opp_solver.empty_stats with
+          Opp_solver.conflicts;
+          by_bounds;
+          by_heuristic;
+          bounds = bounds0;
+        }
+        [] ~tasks:0 ~steals:0
+    in
+    match root_verdict with
+    | Bound_engine.Infeasible _ ->
+      prestage_report Opp_solver.Infeasible ~conflicts:0 ~by_bounds:true
+        ~by_heuristic:false
+    | Bound_engine.Lower_bound _ | Bound_engine.Inconclusive -> begin
+      let heuristic_hit =
+        if
+          options.Opp_solver.use_heuristic
+          && schedule = None
+          && Instance.dim inst = 3
+        then Heuristic.pack inst cont
+        else None
       in
-      match split_root ~options ?schedule ~depth inst cont with
-      | Root_infeasible _ ->
-        prestage_report Opp_solver.Infeasible ~conflicts:1 ~by_bounds:false
-          ~by_heuristic:false
-      | Subproblems subs ->
-        let subs = Array.of_list subs in
-        let total = Array.length subs in
-        Trace.split trace ~subproblems:total;
-        let stop = Atomic.make false in
-        let next = Atomic.make 0 in
-        let completed = Atomic.make 0 in
-        (* Written once by the winning worker, read after the join. *)
-        let witness = Atomic.make None in
-        (* Per-subproblem verdicts; slot [i] is written only by the
-           worker that claimed index [i] via [next], so no two domains
-           ever race on a slot. *)
-        let verdicts = Array.make total `Pending in
-        let portfolio_infeasible = Atomic.make false in
-        let worker_out = Array.make jobs None in
-        let subsearch_options =
-          {
-            options with
-            Opp_solver.use_bounds = false;
-            use_heuristic = false;
-            interrupt =
-              Some
-                (fun () ->
-                  Atomic.get stop
-                  ||
-                  match options.Opp_solver.interrupt with
-                  | Some f -> f ()
-                  | None -> false);
-          }
-        in
-        let publish_feasible placement =
-          if Atomic.compare_and_set witness None (Some placement) then
-            Trace.cancel trace ~reason:"witness found";
-          Atomic.set stop true
-        in
-        let run_queue stats_acc solved =
-          let continue = ref true in
-          while !continue do
-            if Atomic.get stop then continue := false
-            else begin
-              let i = Atomic.fetch_and_add next 1 in
-              if i >= total then continue := false
-              else begin
-                Trace.claim trace ~index:i;
-                (match replay ~options ?schedule inst cont subs.(i) with
+      match heuristic_hit with
+      | Some placement ->
+        prestage_report (Opp_solver.Feasible placement) ~conflicts:0
+          ~by_bounds:false ~by_heuristic:true
+      | None -> (
+        (* Root propagation check before spawning: an unpropagatable
+           root settles the instance on the calling domain. *)
+        match replay ~options ?schedule inst cont [] with
+        | Error _ ->
+          prestage_report Opp_solver.Infeasible ~conflicts:1 ~by_bounds:false
+            ~by_heuristic:false
+        | Ok _ ->
+          (* Shared control state. [pending] counts descriptors that are
+             queued or executing; it reaches 0 exactly when the whole
+             tree has been exhausted (every descriptor ran to completion
+             or failed replay — i.e. was refuted by propagation). *)
+          let stop = Atomic.make false in
+          let timed_out = Atomic.make false in
+          let witness = Atomic.make None in
+          let pending = Atomic.make 1 in
+          let task_ids = Atomic.make 1 in
+          let deques = Array.init jobs (fun _ -> Deque.create ()) in
+          (* Heartbeat load board: each worker publishes its node count
+             at every heartbeat; thieves use it to break victim ties
+             toward the busiest worker, whose deque refills fastest. *)
+          let board = Array.init jobs (fun _ -> Atomic.make 0) in
+          let tasks_tot = Atomic.make 0 in
+          let steals_tot = Atomic.make 0 in
+          let worker_out = Array.make jobs None in
+          Deque.push deques.(0) { id = 0; prefix = []; depth = 0 };
+          let publish_feasible placement =
+            if Atomic.compare_and_set witness None (Some placement) then
+              Trace.cancel trace ~reason:"witness found";
+            Atomic.set stop true
+          in
+          let caller_interrupt () =
+            match options.Opp_solver.interrupt with
+            | Some f -> f ()
+            | None -> false
+          in
+          let worker wid =
+            let w0 = Unix.gettimeofday () in
+            let my_deque = deques.(wid) in
+            let stats_acc = ref Opp_solver.empty_stats in
+            let tasks = ref 0
+            and steals = ref 0
+            and donated = ref 0
+            and reclaimed = ref 0 in
+            let nodes_used = ref 0 in
+            let base_opts =
+              {
+                options with
+                Opp_solver.use_bounds = false;
+                use_heuristic = false;
+                interrupt =
+                  Some (fun () -> Atomic.get stop || caller_interrupt ());
+                on_heartbeat =
+                  Some
+                    (fun p ->
+                      Atomic.set board.(wid) p.Telemetry.nodes;
+                      match options.Opp_solver.on_heartbeat with
+                      | Some f -> f p
+                      | None -> ());
+              }
+            in
+            let finish_task () =
+              if Atomic.fetch_and_add pending (-1) = 1 then begin
+                (* Last descriptor done with no timeout recorded: the
+                   tree is exhausted. *)
+                Trace.cancel trace ~reason:"tree exhausted";
+                Atomic.set stop true
+              end
+            in
+            let give_up () =
+              (* This worker's budget expired (or the caller
+                 interrupted): without its subtrees the proof cannot
+                 complete, so cancel everyone promptly. A witness that
+                 already landed still wins at join time. *)
+              if Atomic.get witness = None then Atomic.set timed_out true;
+              Atomic.set stop true
+            in
+            let run_task (t : task) =
+              incr tasks;
+              Atomic.incr tasks_tot;
+              Trace.claim trace ~index:t.id;
+              (* Per-task share hooks: descriptors donated while running
+                 this task extend its prefix with the local path. *)
+              let offer ~path ~len ~alt =
+                if Atomic.get stop || Deque.size my_deque >= deque_target then
+                  None
+                else begin
+                  let local = Array.to_list (Array.sub path 0 len) in
+                  let prefix = t.prefix @ local @ [ alt ] in
+                  let id = Atomic.fetch_and_add task_ids 1 in
+                  Atomic.incr pending;
+                  Deque.push my_deque { id; prefix; depth = t.depth + len + 1 };
+                  incr donated;
+                  Trace.donate trace ~depth:(t.depth + len);
+                  Some id
+                end
+              in
+              let reclaim token =
+                match Deque.pop_if my_deque (fun (x : task) -> x.id = token) with
+                | Some _ ->
+                  incr reclaimed;
+                  (* The branch runs in place on the live state: balance
+                     the offer's increment here. The enclosing task is
+                     still counted in [pending], so this cannot drain
+                     the counter to 0. *)
+                  ignore (Atomic.fetch_and_add pending (-1));
+                  true
+                | None -> false
+              in
+              let share = { Opp_solver.offer; reclaim } in
+              let budget_left =
+                match options.Opp_solver.node_limit with
+                | None -> None
+                | Some l -> Some (l - !nodes_used)
+              in
+              match budget_left with
+              | Some b when b <= 0 ->
+                give_up ();
+                finish_task ()
+              | _ -> (
+                match replay ~options ?schedule inst cont t.prefix with
                 | Error _ ->
-                  (* The prefix no longer propagates (can happen when a
-                     shared deadline already fired mid-replay — the
-                     state machinery itself is deterministic, so a
-                     clean replay of a surviving split prefix succeeds).
-                     Count it as a pruned branch. *)
-                  verdicts.(i) <- `Infeasible;
+                  (* The descriptor's last decision (the donated
+                     alternative) fails propagation — the same pruned
+                     branch the sequential search would count. *)
                   stats_acc :=
                     {
                       !stats_acc with
-                      Opp_solver.conflicts = (!stats_acc).Opp_solver.conflicts + 1;
-                    }
-                | Ok st -> (
-                  let prefix_len = List.length subs.(i) in
-                  let outcome, s =
-                    Opp_solver.solve_state ~options:subsearch_options
-                      ~depth_offset:prefix_len st
+                      Opp_solver.conflicts =
+                        (!stats_acc).Opp_solver.conflicts + 1;
+                    };
+                  finish_task ()
+                | Ok st ->
+                  let sub_opts =
+                    { base_opts with Opp_solver.node_limit = budget_left }
                   in
+                  let outcome, s =
+                    Opp_solver.solve_state ~options:sub_opts
+                      ~depth_offset:t.depth ~share st
+                  in
+                  nodes_used := !nodes_used + s.Opp_solver.nodes;
                   stats_acc := Opp_solver.merge_stats !stats_acc s;
-                  incr solved;
-                  match outcome with
-                  | Opp_solver.Feasible p ->
-                    verdicts.(i) <- `Feasible;
-                    publish_feasible p
-                  | Opp_solver.Infeasible -> verdicts.(i) <- `Infeasible
-                  | Opp_solver.Timeout -> verdicts.(i) <- `Timeout));
-                (* Last finisher with no feasible answer releases the
-                   portfolio arm too. *)
-                if Atomic.fetch_and_add completed 1 = total - 1 then begin
-                  Trace.cancel trace ~reason:"queue drained";
-                  Atomic.set stop true
+                  (match outcome with
+                  | Opp_solver.Feasible p -> publish_feasible p
+                  | Opp_solver.Infeasible -> ()
+                  | Opp_solver.Timeout ->
+                    (* Either a genuine budget/interrupt expiry or the
+                       cooperative stop flag set by a sibling; a witness
+                       means the stop was benign. *)
+                    if Atomic.get witness = None then give_up ());
+                  finish_task ())
+            in
+            let pick_victim () =
+              (* Largest deque first — its top descriptor is the
+                 shallowest available subtree; the heartbeat board
+                 breaks ties toward the busiest worker. *)
+              let best = ref (-1) in
+              let best_size = ref 0 in
+              let best_load = ref min_int in
+              for i = 0 to jobs - 1 do
+                if i <> wid then begin
+                  let sz = Deque.size deques.(i) in
+                  let load = Atomic.get board.(i) in
+                  if
+                    sz > !best_size
+                    || (sz > 0 && sz = !best_size && load > !best_load)
+                  then begin
+                    best := i;
+                    best_size := sz;
+                    best_load := load
+                  end
                 end
+              done;
+              !best
+            in
+            (* Dry workers spin briefly, then back off to short sleeps:
+               on hardware with fewer cores than jobs a hot spin would
+               timeshare against the workers holding real work. *)
+            let idle = ref 0 in
+            let relax () =
+              incr idle;
+              if !idle > 128 then Unix.sleepf 0.0002 else Domain.cpu_relax ()
+            in
+            let rec loop () =
+              if not (Atomic.get stop) then begin
+                (match Deque.pop my_deque with
+                | Some t ->
+                  idle := 0;
+                  run_task t
+                | None -> (
+                  match pick_victim () with
+                  | -1 ->
+                    if caller_interrupt () then give_up () else relax ()
+                  | v -> (
+                    match Deque.steal deques.(v) with
+                    | Some t ->
+                      idle := 0;
+                      incr steals;
+                      Atomic.incr steals_tot;
+                      Trace.steal trace ~victim:v ~depth:t.depth;
+                      run_task t
+                    | None -> relax ())));
+                loop ()
               end
-            end
-          done
-        in
-        let run_portfolio stats_acc =
-          (* The portfolio arm re-searches the whole root with the
-             branch order flipped: on instances where the default order
-             commits early to a doomed subtree, this arm reaches a
-             witness (or the contradiction) first. It is exact, so a
-             definitive answer cancels the split workers.
-
-             The arm races the queue and must not monopolize its domain
-             when it is losing: once a quarter of the subproblems have
-             been settled without a definitive answer while unclaimed
-             work remains, the re-search has lost its bet and the
-             domain is more useful draining the queue, so the arm
-             abandons (its Timeout is already ignored — the queue
-             verdicts decide). *)
-          let abandon () =
-            total > 0
-            && 4 * Atomic.get completed >= total
-            && Atomic.get next < total
+            in
+            loop ();
+            worker_out.(wid) <-
+              Some
+                {
+                  worker = wid;
+                  work =
+                    {
+                      Telemetry.tasks = !tasks;
+                      steals = !steals;
+                      donated = !donated;
+                      reclaimed = !reclaimed;
+                    };
+                  elapsed_s = Unix.gettimeofday () -. w0;
+                  stats = !stats_acc;
+                }
           in
-          let popts =
-            {
-              subsearch_options with
-              Opp_solver.component_first =
-                not options.Opp_solver.component_first;
-              interrupt =
-                Some
-                  (fun () ->
-                    (match subsearch_options.Opp_solver.interrupt with
-                    | Some f -> f ()
-                    | None -> false)
-                    || abandon ());
-            }
+          (* Always join every domain before returning: cancellation
+             must never leak a running domain past the call. *)
+          let domains =
+            Array.init jobs (fun wid -> Domain.spawn (fun () -> worker wid))
           in
-          match replay ~options ?schedule inst cont [] with
-          | Error _ ->
-            Atomic.set portfolio_infeasible true;
-            Atomic.set stop true
-          | Ok st -> (
-            let outcome, s = Opp_solver.solve_state ~options:popts st in
-            stats_acc := Opp_solver.merge_stats !stats_acc s;
-            match outcome with
-            | Opp_solver.Feasible p -> publish_feasible p
-            | Opp_solver.Infeasible ->
-              Atomic.set portfolio_infeasible true;
-              Trace.cancel trace ~reason:"portfolio refuted root";
-              Atomic.set stop true
-            | Opp_solver.Timeout -> ())
-        in
-        let worker wid =
-          let stats_acc = ref Opp_solver.empty_stats in
-          let solved = ref 0 in
-          let arms = ref [] in
-          (* Arm spans are emitted from the worker's own domain, so the
-             Chrome export shows one lane per worker with its arms. *)
-          let timed name f =
-            let t0 = Unix.gettimeofday () in
-            f ();
-            let dt = Unix.gettimeofday () -. t0 in
-            Trace.phase trace ~phase:("arm:" ^ name) ~dur_s:dt;
-            arms := (name, dt) :: !arms
+          Array.iter Domain.join domains;
+          let workers =
+            Array.to_list worker_out
+            |> List.filter_map Fun.id
+            |> List.sort (fun (a : worker_report) (b : worker_report) ->
+                   compare a.worker b.worker)
           in
-          let arm =
-            if wid = 0 && jobs > 1 then begin
-              timed "portfolio" (fun () -> run_portfolio stats_acc);
-              timed "split" (fun () -> run_queue stats_acc solved);
-              "portfolio+split"
-            end
-            else begin
-              timed "split" (fun () -> run_queue stats_acc solved);
-              "split"
-            end
+          let merged =
+            List.fold_left
+              (fun acc (w : worker_report) ->
+                Opp_solver.merge_stats acc w.stats)
+              { Opp_solver.empty_stats with Opp_solver.bounds = bounds0 }
+              workers
           in
-          worker_out.(wid) <-
-            Some
-              {
-                worker = wid;
-                arm;
-                solved = !solved;
-                arm_elapsed_s = List.rev !arms;
-                stats = !stats_acc;
-              }
-        in
-        (* Always join every domain before returning: cancellation must
-           never leak a running domain past the call. *)
-        let domains =
-          Array.init jobs (fun wid -> Domain.spawn (fun () -> worker wid))
-        in
-        Array.iter Domain.join domains;
-        let workers =
-          Array.to_list worker_out
-          |> List.filter_map Fun.id
-          |> List.sort (fun (a : worker_report) (b : worker_report) ->
-                 compare a.worker b.worker)
-        in
-        let merged =
-          List.fold_left
-            (fun acc (w : worker_report) -> Opp_solver.merge_stats acc w.stats)
-            { Opp_solver.empty_stats with Opp_solver.bounds = bounds0 }
-            workers
-        in
-        let outcome =
-          match Atomic.get witness with
-          | Some placement -> Opp_solver.Feasible placement
-          | None ->
-            if
-              Atomic.get portfolio_infeasible
-              || Array.for_all (fun v -> v = `Infeasible) verdicts
-            then Opp_solver.Infeasible
-            else Opp_solver.Timeout
-        in
-        finish outcome merged workers ~subproblems:total)
+          let outcome =
+            match Atomic.get witness with
+            | Some placement -> Opp_solver.Feasible placement
+            | None ->
+              if Atomic.get timed_out then Opp_solver.Timeout
+              else Opp_solver.Infeasible
+          in
+          finish outcome merged workers ~tasks:(Atomic.get tasks_tot)
+            ~steals:(Atomic.get steals_tot))
+    end
   end
 
 let pp_report fmt r =
-  Format.fprintf fmt "%a via %d jobs over %d subproblems (%a)"
-    Opp_solver.pp_outcome r.outcome r.jobs r.subproblems Opp_solver.pp_stats
+  Format.fprintf fmt "%a via %d jobs, %d tasks (%d stolen) (%a)"
+    Opp_solver.pp_outcome r.outcome r.jobs r.tasks r.steals Opp_solver.pp_stats
     r.stats
 
 let report_to_json r =
@@ -405,12 +507,8 @@ let report_to_json r =
     Telemetry.Obj
       [
         ("worker", Telemetry.Int w.worker);
-        ("arm", Telemetry.String w.arm);
-        ("solved", Telemetry.Int w.solved);
-        ( "arm_elapsed_s",
-          Telemetry.Obj
-            (List.map (fun (name, s) -> (name, Telemetry.seconds s)) w.arm_elapsed_s)
-        );
+        ("work", Telemetry.steals_to_json w.work);
+        ("elapsed_s", Telemetry.seconds w.elapsed_s);
         ("stats", Opp_solver.stats_json w.stats);
       ]
   in
@@ -419,7 +517,8 @@ let report_to_json r =
        [
          ("outcome", Telemetry.String outcome);
          ("jobs", Telemetry.Int r.jobs);
-         ("subproblems", Telemetry.Int r.subproblems);
+         ("tasks", Telemetry.Int r.tasks);
+         ("steals", Telemetry.Int r.steals);
          ("stats", Opp_solver.stats_json r.stats);
          ("workers", Telemetry.List (List.map worker r.workers));
        ])

@@ -1,20 +1,33 @@
-(** Parallel OPP solving on OCaml 5 domains: root splitting plus a
-    search portfolio over {!Opp_solver}.
+(** Parallel OPP solving on OCaml 5 domains: a work-stealing search
+    kernel over {!Opp_solver}.
 
-    The root of the branch-and-bound tree is split into independent
-    subproblems by enumerating the first [depth] branching decisions
-    (each surviving decision prefix of the sequential tree becomes one
-    subproblem — up to [2^depth], fewer when propagation prunes a
-    prefix). A pool of [jobs] domains drains the subproblem queue; the
-    first worker to produce a definitive answer flips a shared atomic
-    cancellation flag that the others poll cooperatively, and when at
-    least two jobs are available one worker first runs a {e portfolio}
-    arm — the full search with the branch order flipped — whose exact
-    answer also cancels the pool. The portfolio arm races the queue: it
-    abandons (and its domain joins the queue workers) as soon as a
-    quarter of the subproblems have been settled while unclaimed work
-    remains, so a losing re-search never monopolizes a domain for the
-    whole run.
+    Each of the [jobs] domains owns a deque of {e subtree descriptors}
+    — compact prefixes of branching decisions from the root, never
+    copied states. Worker 0 starts with the root descriptor; while a
+    worker descends its subtree it {e donates} the not-yet-taken
+    alternative branch of a node to its own deque whenever that deque
+    runs low (dynamic regeneration — there is no up-front split), pops
+    donations back LIFO and runs them in place on the live state when
+    nobody stole them, and when completely dry {e steals} FIFO from the
+    victim with the fullest deque (heartbeat load data breaks ties).
+    Thieves replay a stolen prefix on a fresh state ({!replay}) and
+    search the subtree with the same donation hooks, so work keeps
+    subdividing for as long as any worker is hungry.
+
+    Because a reclaimed donation executes in place, worker 0's
+    execution order is {e exactly} the sequential DFS order — thieves
+    only remove subtrees the sequential search would have visited
+    later. A parallel run therefore cannot be starved behind work the
+    sequential solver would never have reached first: the static-split
+    pathologies (one subproblem holding nearly the whole tree) are
+    gone by construction.
+
+    The global incumbent (first witness found) and cancellation are
+    shared through atomics polled cooperatively at node boundaries;
+    subtree refutations are implicit — a descriptor finishing
+    [Infeasible] (or failing prefix replay) retires its subtree for
+    every worker, and a global pending-descriptor count detects
+    exhaustion of the whole tree.
 
     {b Determinism.} Both solvers are exact, so the feasibility verdict
     is independent of [jobs] and of scheduling: [Feasible]/[Infeasible]
@@ -22,45 +35,62 @@
     witness placement may differ between runs; it is always validated).
     Only when a budget ([node_limit], [deadline]) expires can the result
     degrade — and then it degrades to [Timeout], never to a wrong
-    verdict. Node limits are enforced {e per worker}, so a parallel run
-    with the same [node_limit] explores up to [jobs] times more nodes
-    than a sequential one before giving up.
+    verdict. Node limits are enforced {e per worker} across all the
+    descriptors that worker executes, so a parallel run with the same
+    [node_limit] explores up to [jobs] times more nodes than a
+    sequential one; the first worker to exhaust its budget cancels the
+    solve (the proof cannot complete without its subtrees).
 
-    {b Domains.} [solve] spawns [jobs] fresh domains and joins all of
-    them before returning, including on cancellation and deadline paths
-    — no domain outlives the call. Nested use from inside another
-    domain is safe but multiplies the domain count. *)
+    {b Domains.} [solve] spawns [jobs] fresh domains ({e none} when
+    [jobs = 1] — the sequential solver runs on the calling domain) and
+    joins all of them before returning, including on cancellation and
+    deadline paths — no domain outlives the call. Nested use from
+    inside another domain is safe but multiplies the domain count. *)
 
-(** One recorded branching decision of a split prefix: pair [(u, v)] in
-    dimension [dim], [overlap] choosing component (overlap) versus
-    comparability (disjointness). *)
-type decision = {
+(** One branching decision of a descriptor prefix (re-exported from
+    {!Opp_solver.decision}): pair [(u, v)] in dimension [dim],
+    [overlap] choosing component (overlap) versus comparability
+    (disjointness). *)
+type decision = Opp_solver.decision = {
   dim : int;
   u : int;
   v : int;
   overlap : bool;
 }
 
-type split =
-  | Root_infeasible of string
-      (** propagation already fails at the root; the instance is
-          infeasible *)
-  | Subproblems of decision list list
-      (** the surviving decision prefixes; solving all of them decides
-          the instance *)
+(** The per-worker deque. Owner operations ([push], [pop], [pop_if])
+    act on the newest end; [steal] takes the oldest element. All
+    operations are linearizable under concurrent use from any number
+    of domains; [size] is a lock-free approximation (exact when no
+    operation is in flight). Exposed for the qcheck stress tests. *)
+module Deque : sig
+  type 'a t
 
-(** Per-worker telemetry. [arm] is ["split"] for pure queue workers and
-    ["portfolio+split"] for the worker that ran the flipped-order arm
-    first; [solved] counts subproblems this worker completed.
-    [arm_elapsed_s] records the wall-clock seconds each arm of this
-    worker ran, in execution order (e.g. [("portfolio", 0.8);
-    ("split", 2.1)]) — the portfolio entry includes time until its
-    answer, cancellation, or abandonment. *)
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+
+  (** Remove and return the newest element. *)
+  val pop : 'a t -> 'a option
+
+  (** Remove and return the newest element only if it satisfies the
+      predicate (the owner's reclaim-by-identity check); [None] when
+      the deque is empty or the newest element does not match. The
+      predicate must not raise. *)
+  val pop_if : 'a t -> ('a -> bool) -> 'a option
+
+  (** Remove and return the oldest element. *)
+  val steal : 'a t -> 'a option
+
+  val size : 'a t -> int
+end
+
+(** Per-worker telemetry: the work-stealing counters (descriptors
+    executed / stolen / donated / reclaimed), the worker's wall-clock
+    lifetime, and its merged search stats. *)
 type worker_report = {
   worker : int;
-  arm : string;
-  solved : int;
-  arm_elapsed_s : (string * float) list;
+  work : Telemetry.steal_counters;
+  elapsed_s : float;
   stats : Opp_solver.stats;
 }
 
@@ -68,29 +98,18 @@ type report = {
   outcome : Opp_solver.outcome;
   stats : Opp_solver.stats; (** merged over workers, wall-clock elapsed *)
   workers : worker_report list;
-  subproblems : int; (** size of the root split (0 when settled earlier) *)
+  tasks : int;
+      (** descriptors executed across all workers (0 when the instance
+          settled before the search stage, or when [jobs = 1]) *)
+  steals : int; (** successful steals across all workers *)
   jobs : int;
 }
 
-(** [split_root ?options ?schedule ~depth instance container] computes
-    the depth-[depth] frontier of the sequential search tree. Unless
-    [options.node_bounds] is [Realize_never], each surviving prefix is
-    additionally checked by the {!Bound_engine} on its committed time
-    arcs and dropped when refuted — an exact certificate, so the union
-    of the subproblems' outcomes still equals the unsplit outcome.
-    Exposed for tests: no decision ever touches a precedence arc of
-    the DAG (those are pre-decided at state creation). *)
-val split_root :
-  ?options:Opp_solver.options ->
-  ?schedule:int array ->
-  depth:int ->
-  Instance.t ->
-  Geometry.Container.t ->
-  split
-
 (** [replay ?options ?schedule instance container prefix] rebuilds a
-    fresh root state and re-applies a split prefix. [Error] means the
-    prefix is infeasible. Exposed for tests. *)
+    fresh root state and re-applies a descriptor prefix. [Error] means
+    the prefix fails propagation — for a stolen descriptor this is the
+    donated alternative branch being refuted, the same pruned branch
+    the sequential search would count as a conflict. *)
 val replay :
   ?options:Opp_solver.options ->
   ?schedule:int array ->
@@ -99,23 +118,19 @@ val replay :
   decision list ->
   (Packing_state.t, string) result
 
-(** The split depth used when none is given: roughly
-    [log2 (4 * jobs)], capped at 10. *)
-val default_split_depth : jobs:int -> int
-
-(** [solve ?options ?schedule ?jobs ?split_depth instance container]
-    decides the instance in parallel. Stages 1 and 2 (bounds,
-    heuristic) run once, sequentially, before any domain is spawned;
-    only the stage-3 search is parallelized. [jobs] defaults to 2 and
-    is clamped to at least 1; [split_depth] defaults to
-    {!default_split_depth}. All {!Opp_solver.options} budgets apply:
-    [deadline] is shared by every worker, [node_limit] is per worker,
-    [on_progress] may be called concurrently from several domains. *)
+(** [solve ?options ?schedule ?jobs instance container] decides the
+    instance in parallel. Stages 1 and 2 (bounds, heuristic) run once,
+    sequentially, before any domain is spawned; only the stage-3
+    search is work-stolen. [jobs] defaults to 2 and is clamped to at
+    least 1; [jobs = 1] short-circuits to {!Opp_solver.solve} with
+    zero domain overhead and unchanged stats. All
+    {!Opp_solver.options} budgets apply: [deadline] is shared by every
+    worker, [node_limit] is per worker, [on_progress]/[on_heartbeat]
+    may be called concurrently from several domains. *)
 val solve :
   ?options:Opp_solver.options ->
   ?schedule:int array ->
   ?jobs:int ->
-  ?split_depth:int ->
   Instance.t ->
   Geometry.Container.t ->
   report

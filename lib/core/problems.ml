@@ -248,8 +248,15 @@ let run_probe ?schedule ctx cont inst =
    smallest value still worth probing. An [`Infeasible] answer at [mid]
    raises the proof to [mid + 1]; a [`Timeout] proves nothing, so only
    [lo] moves — the search keeps shrinking the side where the incumbent
-   can still improve, and the final gap is honest. *)
-let bisect ctx ~lo ~proven ~incumbent ~probe =
+   can still improve, and the final gap is honest.
+
+   [tighten] reads the witness's achieved objective: a probe at [mid]
+   may return a placement that is strictly better than [mid] (e.g. a
+   makespan below the probed t_max), and broadcasting that tighter
+   incumbent halves the remaining bracket for free. The witness is
+   feasible at its own value by construction, so correctness is
+   unaffected; only the probe count shrinks. *)
+let bisect ?tighten ctx ~lo ~proven ~incumbent ~probe =
   let best = ref incumbent in
   let lo = ref lo in
   let proven = ref proven in
@@ -258,8 +265,11 @@ let bisect ctx ~lo ~proven ~incumbent ~probe =
     let mid = (!lo + fst !best - 1) / 2 in
     match probe mid with
     | `Feasible w ->
-      best := (mid, w);
-      Trace.incumbent ctx.trace ~objective:mid
+      let value =
+        match tighten with Some f -> min mid (f w) | None -> mid
+      in
+      best := (value, w);
+      Trace.incumbent ctx.trace ~objective:value
     | `Infeasible ->
       lo := mid + 1;
       proven := max !proven (mid + 1)
@@ -410,7 +420,9 @@ let minimize_time_ctx ctx ?upper inst ~w ~h =
       Infeasible
     | Some incumbent ->
       let probe t = run_probe ctx (Container.make3 ~w ~h ~t_max:t) inst in
-      let best, proven = bisect ctx ~lo ~proven:lo ~incumbent ~probe in
+      let best, proven =
+        bisect ~tighten:Placement.makespan ctx ~lo ~proven:lo ~incumbent ~probe
+      in
       classified best ~proven
   end
 

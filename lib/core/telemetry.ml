@@ -110,6 +110,27 @@ let zero_cache ~capacity =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Work-stealing counters                                              *)
+(* ------------------------------------------------------------------ *)
+
+type steal_counters = {
+  tasks : int;
+  steals : int;
+  donated : int;
+  reclaimed : int;
+}
+
+let zero_steals = { tasks = 0; steals = 0; donated = 0; reclaimed = 0 }
+
+let add_steals a b =
+  {
+    tasks = a.tasks + b.tasks;
+    steals = a.steals + b.steals;
+    donated = a.donated + b.donated;
+    reclaimed = a.reclaimed + b.reclaimed;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Progress snapshots                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -225,6 +246,15 @@ let bounds_to_json (bs : bound_counters) =
                ("prunes", Int c.prunes);
              ] ))
        bs)
+
+let steals_to_json s =
+  Obj
+    [
+      ("tasks", Int s.tasks);
+      ("steals", Int s.steals);
+      ("donated", Int s.donated);
+      ("reclaimed", Int s.reclaimed);
+    ]
 
 let cache_to_json c =
   Obj

@@ -65,6 +65,24 @@ type cache_counters = {
 (** All-zero counters for a cache of the given capacity. *)
 val zero_cache : capacity:int -> cache_counters
 
+(** Per-worker counters of the {!Parallel_solver} work-stealing kernel:
+    how many subtree descriptors this worker executed ([tasks]), how
+    many of those it took from another worker's deque ([steals]), how
+    many alternative branches it published to its own deque while
+    descending ([donated]), and how many of those it took back and ran
+    in place because nobody had stolen them ([reclaimed]). An idle-free
+    run satisfies [donated = reclaimed + sum of everyone's steals from
+    this worker + descriptors abandoned on cancellation]. *)
+type steal_counters = {
+  tasks : int;
+  steals : int;
+  donated : int;
+  reclaimed : int;
+}
+
+val zero_steals : steal_counters
+val add_steals : steal_counters -> steal_counters -> steal_counters
+
 (** A periodic search-progress snapshot, produced by the wall-clock
     heartbeat of {!Opp_solver} (see [options.progress_interval_s]) and
     carried by {!Trace} progress events. [bracket] and [gap] are filled
@@ -109,6 +127,7 @@ val seconds : float -> json
 
 val rules_to_json : rule_counters -> json
 val bounds_to_json : bound_counters -> json
+val steals_to_json : steal_counters -> json
 val cache_to_json : cache_counters -> json
 val progress_to_json : progress -> json
 

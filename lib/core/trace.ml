@@ -35,8 +35,9 @@ type kind =
       budget_s_left : float option;
       bracket : (int * int) option;
     }
-  | Split of { subproblems : int }
   | Claim of { index : int }
+  | Steal of { victim : int; depth : int }
+  | Donate of { depth : int }
   | Cancel of { reason : string }
   | Phase of { phase : string; dur_s : float }
   | Progress of Telemetry.progress
@@ -189,15 +190,20 @@ let probe t ~extents ~verdict ~nodes ~dur_s ~budget_nodes_left ~budget_s_left
            bracket;
          })
 
-let split t ~subproblems =
-  match t with
-  | Null -> ()
-  | Active a -> append a (stream a) (Split { subproblems })
-
 let claim t ~index =
   match t with
   | Null -> ()
   | Active a -> append a (stream a) (Claim { index })
+
+let steal t ~victim ~depth =
+  match t with
+  | Null -> ()
+  | Active a -> append a (stream a) (Steal { victim; depth })
+
+let donate t ~depth =
+  match t with
+  | Null -> ()
+  | Active a -> append a (stream a) (Donate { depth })
 
 let cancel t ~reason =
   match t with
@@ -249,8 +255,9 @@ let ev_name = function
   | Realize _ -> "realize"
   | Incumbent _ -> "incumbent"
   | Probe _ -> "probe"
-  | Split _ -> "split"
   | Claim _ -> "claim"
+  | Steal _ -> "steal"
+  | Donate _ -> "donate"
   | Cancel _ -> "cancel"
   | Phase _ -> "phase"
   | Progress _ -> "progress"
@@ -310,8 +317,10 @@ let kind_fields = function
         | Some (lo, hi) -> Telemetry.List [ Telemetry.Int lo; Telemetry.Int hi ]
         | None -> Telemetry.Null );
     ]
-  | Split { subproblems } -> [ ("subproblems", Telemetry.Int subproblems) ]
   | Claim { index } -> [ ("index", Telemetry.Int index) ]
+  | Steal { victim; depth } ->
+    [ ("victim", Telemetry.Int victim); ("depth", Telemetry.Int depth) ]
+  | Donate { depth } -> [ ("depth", Telemetry.Int depth) ]
   | Cancel { reason } -> [ ("reason", Telemetry.String reason) ]
   | Phase { phase; dur_s } ->
     [ ("phase", Telemetry.String phase); ("dur_s", Telemetry.seconds dur_s) ]
@@ -503,12 +512,18 @@ let write_chrome ?(node_depth_limit = default_node_depth_limit) t oc =
                        ]
                      | None -> [])
                    ())
-            | Split { subproblems } ->
-              instant ~name:"split" ~cat:"parallel" ~ts:e.ts
-                [ ("subproblems", Telemetry.Int subproblems) ]
             | Claim { index } ->
               instant ~name:"claim" ~cat:"parallel" ~ts:e.ts
                 [ ("index", Telemetry.Int index) ]
+            | Steal { victim; depth } ->
+              instant ~name:"steal" ~cat:"parallel" ~ts:e.ts
+                [
+                  ("victim", Telemetry.Int victim);
+                  ("depth", Telemetry.Int depth);
+                ]
+            | Donate { depth } ->
+              instant ~name:"donate" ~cat:"parallel" ~ts:e.ts
+                [ ("depth", Telemetry.Int depth) ]
             | Cancel { reason } ->
               instant ~name:"cancel" ~cat:"parallel" ~ts:e.ts
                 [ ("reason", Telemetry.String reason) ]
@@ -553,6 +568,7 @@ module Summary = struct
     last_ts : float;
     bound_time_s : float;
     claims : int;
+    steals : int;
   }
 
   type t = {
@@ -580,6 +596,7 @@ module Summary = struct
       last_ts = 0.0;
       bound_time_s = 0.0;
       claims = 0;
+      steals = 0;
     }
 
   let bump assoc key f init =
@@ -674,6 +691,8 @@ module Summary = struct
                 incr probes;
                 probe_time := !probe_time +. dur
               | "realize" -> realize_time := !realize_time +. dur
+              | "claim" -> upd (fun pw -> { pw with claims = pw.claims + 1 })
+              | "steal" -> upd (fun pw -> { pw with steals = pw.steals + 1 })
               | _ -> ())))
       lines;
     match !err with
@@ -738,15 +757,15 @@ module Summary = struct
     end;
     if s.workers <> [] then begin
       Format.fprintf fmt "per-worker:@.";
-      Format.fprintf fmt "  %-8s %8s %8s %6s %10s %12s %7s@." "worker"
-        "events" "nodes" "depth" "span_s" "bound_s" "claims";
+      Format.fprintf fmt "  %-8s %8s %8s %6s %10s %12s %7s %7s@." "worker"
+        "events" "nodes" "depth" "span_s" "bound_s" "claims" "steals";
       List.iter
         (fun (w, (pw : per_worker)) ->
-          Format.fprintf fmt "  %-8d %8d %8d %6d %10.3f %12.6f %7d@." w
+          Format.fprintf fmt "  %-8d %8d %8d %6d %10.3f %12.6f %7d %7d@." w
             pw.events pw.nodes pw.max_depth
             (if pw.last_ts >= pw.first_ts then pw.last_ts -. pw.first_ts
              else 0.0)
-            pw.bound_time_s pw.claims)
+            pw.bound_time_s pw.claims pw.steals)
         s.workers
     end;
     if s.incumbents <> [] then begin

@@ -5,7 +5,7 @@
     each layer emits typed events — node enter/close, branching
     decisions, rule firings, bound calls with verdicts, realization
     attempts, incumbent updates, optimization probes, and parallel
-    split/claim/cancel lifecycle — into per-domain ring buffers with
+    claim/steal/donate/cancel lifecycle — into per-domain ring buffers with
     monotonic (per-stream non-decreasing) timestamps.
 
     {!null} is a first-class "tracing off" handle: every emit function
@@ -47,8 +47,14 @@ type kind =
       budget_s_left : float option;
       bracket : (int * int) option;
     }
-  | Split of { subproblems : int }
   | Claim of { index : int }
+      (** the emitting worker started executing descriptor [index] *)
+  | Steal of { victim : int; depth : int }
+      (** the emitting worker took a descriptor of prefix length
+          [depth] from worker [victim]'s deque *)
+  | Donate of { depth : int }
+      (** the emitting worker published the alternative branch of the
+          node at decision depth [depth] to its own deque *)
   | Cancel of { reason : string }
   | Phase of { phase : string; dur_s : float }
   | Progress of Telemetry.progress
@@ -92,8 +98,9 @@ val probe :
   bracket:(int * int) option ->
   unit
 
-val split : t -> subproblems:int -> unit
 val claim : t -> index:int -> unit
+val steal : t -> victim:int -> depth:int -> unit
+val donate : t -> depth:int -> unit
 val cancel : t -> reason:string -> unit
 val phase : t -> phase:string -> dur_s:float -> unit
 val progress : t -> Telemetry.progress -> unit
@@ -135,7 +142,8 @@ module Summary : sig
     first_ts : float;
     last_ts : float;
     bound_time_s : float;
-    claims : int;
+    claims : int;  (** descriptors this worker started executing *)
+    steals : int;  (** descriptors it took from other workers' deques *)
   }
 
   type t = {

