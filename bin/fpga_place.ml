@@ -903,6 +903,227 @@ let export_cmd =
   let doc = "Print a built-in benchmark in the instance format." in
   Cmd.v (Cmd.info "export" ~doc) Term.(const run $ which)
 
+let online_cmd =
+  let file_opt =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"Instance file; every task arrives at time 0 (see \
+                   --stagger). Omit it and pass --generate N for a \
+                   synthetic arrival stream.")
+  in
+  let policy_opt =
+    Arg.(value
+         & opt (enum [ ("corner", Fpga.Online.Corner);
+                       ("first", Fpga.Online.First_fit);
+                       ("best", Fpga.Online.Best_fit);
+                       ("worst", Fpga.Online.Worst_fit) ])
+             Fpga.Online.Best_fit
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Fit policy: corner (the historical corner-candidate \
+                   scan) or first/best/worst fit over the \
+                   maximal-empty-rectangle manager (default: best).")
+  in
+  let compaction_flag =
+    Arg.(value & flag
+         & info [ "compaction" ]
+             ~doc:"Enable cost-aware defragmentation: when a task cannot be \
+                   placed, re-pack the running modules bottom-left — but \
+                   commit only when the modeled wait-time saved exceeds the \
+                   reconfiguration cost of the moved modules, and never \
+                   without placing the blocked task.")
+  in
+  let move_delay_opt =
+    Arg.(value & opt int 1
+         & info [ "move-delay" ] ~docv:"N"
+             ~doc:"Extra cycles charged per moved module during a \
+                   compaction, on top of the --reconfig-model load time.")
+  in
+  let reconfig_conv =
+    let parse s =
+      match String.split_on_char ':' (String.lowercase_ascii s) with
+      | [ "constant"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> Ok (Fpga.Reconfig.Constant n)
+        | _ -> Error (`Msg "expected constant:N with N >= 0"))
+      | [ "column"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> Ok (Fpga.Reconfig.Per_column n)
+        | _ -> Error (`Msg "expected column:N with N >= 0"))
+      | [ "cell"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> Ok (Fpga.Reconfig.Per_cell n)
+        | _ -> Error (`Msg "expected cell:N with N >= 0"))
+      | _ -> Error (`Msg "expected constant:N, column:N or cell:N")
+    in
+    let print fmt m = Format.fprintf fmt "%a" Fpga.Reconfig.pp m in
+    Arg.conv (parse, print)
+  in
+  let reconfig_opt =
+    Arg.(value & opt reconfig_conv (Fpga.Reconfig.Constant 0)
+         & info [ "reconfig-model" ] ~docv:"MODEL"
+             ~doc:"Configuration-load cost model for moved modules: \
+                   constant:N, column:N (per occupied column) or cell:N \
+                   (per cell). Default constant:0.")
+  in
+  let generate_opt =
+    Arg.(value & opt (some int) None
+         & info [ "generate" ] ~docv:"N"
+             ~doc:"Generate a synthetic stream of N tasks instead of \
+                   reading FILE (chip defaults to 32x32 unless --chip).")
+  in
+  let seed_opt =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"S" ~doc:"Stream generator seed.")
+  in
+  let load_opt =
+    Arg.(value & opt float 1.0
+         & info [ "load" ] ~docv:"L"
+             ~doc:"Offered load of the generated stream: mean area x \
+                   duration work per time unit over the chip capacity.")
+  in
+  let max_extent_opt =
+    Arg.(value & opt int 8
+         & info [ "max-extent" ] ~docv:"E"
+             ~doc:"Maximum footprint side of generated tasks.")
+  in
+  let max_duration_opt =
+    Arg.(value & opt int 12
+         & info [ "max-duration" ] ~docv:"D"
+             ~doc:"Maximum duration of generated tasks.")
+  in
+  let arc_probability_opt =
+    Arg.(value & opt float 0.1
+         & info [ "arc-probability" ] ~docv:"P"
+             ~doc:"Probability that a generated task depends on recent \
+                   predecessors.")
+  in
+  let stagger_opt =
+    Arg.(value & opt int 0
+         & info [ "stagger" ] ~docv:"T"
+             ~doc:"With FILE: task i arrives at i*T instead of 0.")
+  in
+  let run file chip policy compaction move_delay reconfig generate seed load
+      max_extent max_duration arc_probability stagger stats trace_file quiet =
+    let trace =
+      match trace_file with
+      | None -> Packing.Trace.null
+      | Some _ -> Packing.Trace.create ()
+    in
+    let write_trace () =
+      match trace_file with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        if Filename.check_suffix path ".json" then
+          Packing.Trace.write_chrome trace oc
+        else Packing.Trace.write_jsonl trace oc;
+        close_out oc;
+        Format.eprintf "wrote %s@." path
+    in
+    let result =
+      match (file, generate) with
+      | None, None -> Error "pass an instance FILE or --generate N"
+      | Some f, _ -> (
+        match read_instance f with
+        | Error msg -> Error msg
+        | Ok io -> (
+          match resolve_chip io chip with
+          | Error msg -> Error msg
+          | Ok chip ->
+            let inst = io.Fpga.Instance_io.instance in
+            let arrivals =
+              List.init (Packing.Instance.count inst) (fun i ->
+                  { Fpga.Online.task = i; arrival_time = i * stagger })
+            in
+            Ok
+              ( chip,
+                Fpga.Online.run ~policy ~reconfig ~trace inst arrivals ~chip
+                  ~compaction ~move_delay )))
+      | None, Some n ->
+        let chip =
+          match chip with Some c -> c | None -> Fpga.Chip.square 32
+        in
+        let tasks =
+          Benchmarks.Generate.arrival_stream ~seed ~n ~chip ~load ~max_extent
+            ~max_duration ~arc_probability ()
+        in
+        Ok
+          ( chip,
+            Fpga.Online.run_stream ~policy ~reconfig ~trace tasks ~chip
+              ~compaction ~move_delay )
+    in
+    match result with
+    | Error msg -> err msg
+    | Ok (chip, r) ->
+      let {
+        Fpga.Online.placed;
+        rejected;
+        never_arrived;
+        deferrals;
+        compactions;
+        moved_tasks;
+        move_cycles;
+        makespan;
+        utilization;
+        latency;
+        events = _;
+        placement = _;
+      } =
+        r
+      in
+      if not quiet then begin
+        Format.printf "placed %d, rejected %d, never arrived %d (of %d tasks)@."
+          placed rejected never_arrived
+          (placed + rejected + never_arrived);
+        Format.printf "makespan %d, utilization %.1f%%, deferrals %d@." makespan
+          (100.0 *. utilization) deferrals;
+        Format.printf "compactions %d (moved %d modules, %d cycles charged)@."
+          compactions moved_tasks move_cycles;
+        Format.printf
+          "placement latency: p50 %.1f us, p99 %.1f us, max %.1f us (%d \
+           samples)@."
+          latency.Fpga.Online.p50_us latency.Fpga.Online.p99_us
+          latency.Fpga.Online.max_us latency.Fpga.Online.samples
+      end;
+      (match stats with
+      | Some `Json ->
+        let open Packing.Telemetry in
+        let policy_name =
+          match policy with
+          | Fpga.Online.Corner -> "corner"
+          | Fpga.Online.First_fit -> "first"
+          | Fpga.Online.Best_fit -> "best"
+          | Fpga.Online.Worst_fit -> "worst"
+        in
+        Format.printf "%s@."
+          (to_string
+             (Obj
+                [
+                  ("problem", String "online");
+                  ("policy", String policy_name);
+                  ( "chip",
+                    String
+                      (Printf.sprintf "%dx%d" (Fpga.Chip.width chip)
+                         (Fpga.Chip.height chip)) );
+                  ("compaction", Bool compaction);
+                  ("move_delay", Int move_delay);
+                  ("online", online_to_json (Fpga.Online.counters r));
+                ]))
+      | Some `Text | None -> ());
+      write_trace ();
+      if rejected = 0 && never_arrived = 0 then 0 else 2
+  in
+  let doc =
+    "Run the online placement manager over an arrival stream (from an \
+     instance file or --generate) and report placements, rejections, \
+     utilization and per-placement latency."
+  in
+  Cmd.v (Cmd.info "online" ~doc)
+    Term.(const run $ file_opt $ chip_opt $ policy_opt $ compaction_flag
+          $ move_delay_opt $ reconfig_opt $ generate_opt $ seed_opt $ load_opt
+          $ max_extent_opt $ max_duration_opt $ arc_probability_opt
+          $ stagger_opt $ stats_opt $ trace_opt $ quiet_flag)
+
 let () =
   let doc =
     "Optimal FPGA module placement with temporal precedence constraints \
@@ -926,5 +1147,6 @@ let () =
             ilp_cmd;
             export_cmd;
             serve_cmd;
+            online_cmd;
             trace_summary_cmd;
           ]))

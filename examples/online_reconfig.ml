@@ -48,7 +48,7 @@ let () =
         Format.printf "  t=%-3d place %-4s at (%d,%d)@." time
           (Packing.Instance.label de task)
           x y
-      | Fpga.Online.Compacted { moved; time } ->
+      | Fpga.Online.Compacted { moved; time; _ } ->
         Format.printf "  t=%-3d compact, moved %d tasks@." time
           (List.length moved)
       | Fpga.Online.Deferred _ | Fpga.Online.Rejected _ -> ())

@@ -24,6 +24,61 @@ let random ~seed ~n ~max_extent ~max_duration ~arc_probability () =
     ~name:(Printf.sprintf "random-%d" seed)
     ~precedence:!precedence ~boxes ()
 
+(* Poisson-like arrival stream for the online placement manager. The
+   interarrival gaps are exponential with mean chosen so the offered
+   load — mean footprint-area x duration work per time unit, divided by
+   the chip capacity — equals [load]. Generation is one explicit pass
+   (Array.init's evaluation order is unspecified; the RNG stream must
+   advance in task order for determinism). *)
+let arrival_stream ~seed ~n ~chip ~load ~max_extent ~max_duration
+    ~arc_probability () =
+  if n < 0 then invalid_arg "Generate.arrival_stream: negative n";
+  if load <= 0.0 then invalid_arg "Generate.arrival_stream: non-positive load";
+  if max_extent <= 0 || max_duration <= 0 then
+    invalid_arg "Generate.arrival_stream: non-positive extents";
+  if arc_probability < 0.0 || arc_probability > 1.0 then
+    invalid_arg "Generate.arrival_stream: arc probability outside [0,1]";
+  let cw = Fpga.Chip.width chip and ch = Fpga.Chip.height chip in
+  let me = min max_extent (min cw ch) in
+  let rng = Random.State.make [| seed |] in
+  let mean_work =
+    let e_ext = float_of_int (me + 1) /. 2.0 in
+    e_ext *. e_ext *. (float_of_int (max_duration + 1) /. 2.0)
+  in
+  let mean_gap = mean_work /. (load *. float_of_int (cw * ch)) in
+  let tasks =
+    Array.make n
+      { Fpga.Online.w = 1; h = 1; duration = 1; arrival = 0; preds = [] }
+  in
+  (* Chain depth per task, capped so the precedence structure stays
+     shallow (long chains serialize the whole stream). *)
+  let depth = Array.make n 0 in
+  let t = ref 0.0 in
+  for i = 0 to n - 1 do
+    let w = 1 + Random.State.int rng me in
+    let h = 1 + Random.State.int rng me in
+    let duration = 1 + Random.State.int rng max_duration in
+    let gap = -.mean_gap *. log (1.0 -. Random.State.float rng 1.0) in
+    t := !t +. gap;
+    let arrival = int_of_float !t in
+    let preds =
+      if i > 0 && Random.State.float rng 1.0 < arc_probability then begin
+        let k = 1 + Random.State.int rng 2 in
+        let window = min i 16 in
+        let ps = ref [] in
+        for _ = 1 to k do
+          let j = i - 1 - Random.State.int rng window in
+          if depth.(j) < 12 && not (List.mem j !ps) then ps := j :: !ps
+        done;
+        !ps
+      end
+      else []
+    in
+    depth.(i) <- List.fold_left (fun acc j -> max acc (depth.(j) + 1)) 0 preds;
+    tasks.(i) <- { Fpga.Online.w; h; duration; arrival; preds }
+  done;
+  tasks
+
 (* A piece of the container during recursive cutting: origin + extents. *)
 type piece = {
   origin : int array;

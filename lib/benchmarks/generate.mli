@@ -23,6 +23,27 @@ val random :
   unit ->
   Packing.Instance.t
 
+(** [arrival_stream ~seed ~n ~chip ~load ~max_extent ~max_duration
+    ~arc_probability ()] generates [n] tasks for {!Fpga.Online.run_stream}:
+    footprints in [1 .. max_extent] (clamped to the chip), durations in
+    [1 .. max_duration], exponential interarrival gaps tuned so the
+    offered load (mean area x duration work per time unit over the chip
+    capacity) equals [load], and — with probability [arc_probability]
+    per task — one or two predecessors drawn from a sliding window of
+    recent tasks, with chain depth capped so precedence stays shallow.
+    Arrival times are non-decreasing; predecessors always precede their
+    successors in the array. *)
+val arrival_stream :
+  seed:int ->
+  n:int ->
+  chip:Fpga.Chip.t ->
+  load:float ->
+  max_extent:int ->
+  max_duration:int ->
+  arc_probability:float ->
+  unit ->
+  Fpga.Online.task array
+
 (** [guillotine ~seed ~container ~cuts ~arc_probability ()] recursively
     splits [container] by axis-orthogonal cuts into [cuts + 1] boxes
     that tile it exactly, then adds precedence arcs only between pieces

@@ -41,6 +41,7 @@ type kind =
   | Cancel of { reason : string }
   | Phase of { phase : string; dur_s : float }
   | Progress of Telemetry.progress
+  | Online_op of { op : string; task : int; sim_time : int; dur_s : float }
 
 type event = { ts : float; kind : kind }
 
@@ -218,6 +219,11 @@ let phase t ~phase:name ~dur_s =
 let progress t p =
   match t with Null -> () | Active a -> append a (stream a) (Progress p)
 
+let online_op t ~op ~task ~sim_time ~dur_s =
+  match t with
+  | Null -> ()
+  | Active a -> append a (stream a) (Online_op { op; task; sim_time; dur_s })
+
 (* --- reading back ------------------------------------------------ *)
 
 let dropped = function
@@ -261,6 +267,7 @@ let ev_name = function
   | Cancel _ -> "cancel"
   | Phase _ -> "phase"
   | Progress _ -> "progress"
+  | Online_op _ -> "online"
 
 let verdict_fields = function
   | Bv_infeasible detail ->
@@ -325,6 +332,13 @@ let kind_fields = function
   | Phase { phase; dur_s } ->
     [ ("phase", Telemetry.String phase); ("dur_s", Telemetry.seconds dur_s) ]
   | Progress p -> [ ("progress", Telemetry.progress_to_json p) ]
+  | Online_op { op; task; sim_time; dur_s } ->
+    [
+      ("op", Telemetry.String op);
+      ("task", Telemetry.Int task);
+      ("sim_time", Telemetry.Int sim_time);
+      ("dur_s", Telemetry.seconds dur_s);
+    ]
 
 let event_json ~worker ~ts kind =
   Telemetry.Obj
@@ -532,6 +546,19 @@ let write_chrome ?(node_depth_limit = default_node_depth_limit) t oc =
                 (chrome_event ~name:phase ~cat:"phase" ~ph:"X"
                    ~ts:(max 0.0 (e.ts -. dur_s))
                    ~tid ~dur:dur_s ())
+            | Online_op { op; task; sim_time; dur_s } ->
+              let args =
+                [
+                  ("task", Telemetry.Int task);
+                  ("sim_time", Telemetry.Int sim_time);
+                ]
+              in
+              if dur_s > 0.0 then
+                emit
+                  (chrome_event ~name:("online:" ^ op) ~cat:"online" ~ph:"X"
+                     ~ts:(max 0.0 (e.ts -. dur_s))
+                     ~tid ~dur:dur_s ~args ())
+              else instant ~name:("online:" ^ op) ~cat:"online" ~ts:e.ts args
             | Progress p ->
               emit
                 (chrome_event ~name:"nodes_per_s" ~cat:"progress" ~ph:"C"

@@ -58,6 +58,11 @@ type kind =
   | Cancel of { reason : string }
   | Phase of { phase : string; dur_s : float }
   | Progress of Telemetry.progress
+  | Online_op of { op : string; task : int; sim_time : int; dur_s : float }
+      (** one online-placement operation ("place", "defer", "compact",
+          "reject", "retire") on [task] at simulated clock [sim_time];
+          [dur_s] is the wall-clock cost of the operation (0 when not
+          measured) *)
 
 type event = { ts : float; kind : kind }
 type t
@@ -104,6 +109,7 @@ val donate : t -> depth:int -> unit
 val cancel : t -> reason:string -> unit
 val phase : t -> phase:string -> dur_s:float -> unit
 val progress : t -> Telemetry.progress -> unit
+val online_op : t -> op:string -> task:int -> sim_time:int -> dur_s:float -> unit
 
 (** {1 Reading back} *)
 

@@ -1,0 +1,217 @@
+(* Maximal-empty-rectangle (MER) free-space manager.
+
+   Invariant: [mers] is exactly the set of maximal empty axis-aligned
+   rectangles of the chip w.r.t. [occupied], kept sorted for
+   deterministic queries.
+
+   - place: an MER that does not intersect the new footprint stays
+     maximal (space only shrank); one that does is replaced by its four
+     residuals (left/right/bottom/top of the footprint), and every
+     residual that is contained in another candidate is pruned. Any
+     maximal rectangle of the new configuration either was maximal
+     before (survivor) or is a sub-rectangle of a split MER avoiding
+     the footprint, hence contained in one of its residuals — so the
+     candidate set is complete and pruning leaves exactly the maxima.
+
+   - remove: a maximal rectangle of the new configuration either
+     avoids the freed footprint F (then it was maximal before and is
+     already present) or intersects F. The latter are recomputed
+     directly: the left edge of a maximal rectangle is 0 or the right
+     edge of some obstacle, its right edge is the chip width or the
+     left edge of some obstacle; for each such x-span overlapping F,
+     the maximal y-gaps of the span are candidate rectangles, kept when
+     both vertical strips beside them are blocked. Old MERs that became
+     extendable into F are contained in one of these candidates and are
+     pruned. *)
+
+type rect = { x : int; y : int; w : int; h : int }
+
+type policy = First_fit | Best_fit | Worst_fit
+
+type t = {
+  width : int;
+  height : int;
+  mutable mers : rect list;
+  occupied : (int, rect) Hashtbl.t;
+  mutable used : int;
+}
+
+let create ~w ~h =
+  if w <= 0 || h <= 0 then invalid_arg "Free_space.create: non-positive size";
+  {
+    width = w;
+    height = h;
+    mers = [ { x = 0; y = 0; w; h } ];
+    occupied = Hashtbl.create 64;
+    used = 0;
+  }
+
+let copy t =
+  {
+    width = t.width;
+    height = t.height;
+    mers = t.mers;
+    occupied = Hashtbl.copy t.occupied;
+    used = t.used;
+  }
+
+let width t = t.width
+let height t = t.height
+let used_area t = t.used
+let free_area t = (t.width * t.height) - t.used
+
+let tuple r = (r.x, r.y, r.w, r.h)
+
+let occupied t =
+  Hashtbl.fold (fun id r acc -> (id, tuple r) :: acc) t.occupied []
+  |> List.sort compare
+
+let rect_order a b = compare (a.y, a.x, a.w, a.h) (b.y, b.x, b.w, b.h)
+let mers t = List.map tuple (List.sort rect_order t.mers)
+let mer_count t = List.length t.mers
+
+let intersects a b =
+  a.x < b.x + b.w && b.x < a.x + a.w && a.y < b.y + b.h && b.y < a.y + a.h
+
+(* [contains a b]: b lies inside a. *)
+let contains a b =
+  a.x <= b.x && a.y <= b.y && b.x + b.w <= a.x + a.w && b.y + b.h <= a.y + a.h
+
+let find t ~policy ~w ~h =
+  if w <= 0 || h <= 0 then invalid_arg "Free_space.find: non-positive size";
+  (* Key to minimize; ties always fall back to bottom-left (y, x) so
+     the result is independent of the MER list order. *)
+  let key m =
+    match policy with
+    | First_fit -> (0, m.y, m.x)
+    | Best_fit -> (m.w * m.h, m.y, m.x)
+    | Worst_fit -> (-(m.w * m.h), m.y, m.x)
+  in
+  let best = ref None in
+  List.iter
+    (fun m ->
+      if m.w >= w && m.h >= h then
+        match !best with
+        | Some (k, _) when k <= key m -> ()
+        | _ -> best := Some (key m, (m.x, m.y)))
+    t.mers;
+  Option.map snd !best
+
+let place t ~id ~x ~y ~w ~h =
+  if w <= 0 || h <= 0 then invalid_arg "Free_space.place: non-positive size";
+  if x < 0 || y < 0 || x + w > t.width || y + h > t.height then
+    invalid_arg "Free_space.place: footprint leaves the chip";
+  if Hashtbl.mem t.occupied id then invalid_arg "Free_space.place: live id";
+  let r = { x; y; w; h } in
+  Hashtbl.iter
+    (fun _ o ->
+      if intersects r o then
+        invalid_arg "Free_space.place: footprint overlaps a module")
+    t.occupied;
+  Hashtbl.replace t.occupied id r;
+  t.used <- t.used + (w * h);
+  let survivors = ref [] and pieces = ref [] in
+  List.iter
+    (fun m ->
+      if not (intersects m r) then survivors := m :: !survivors
+      else begin
+        let add p = if p.w > 0 && p.h > 0 then pieces := p :: !pieces in
+        add { m with w = r.x - m.x };
+        add { x = r.x + r.w; y = m.y; w = m.x + m.w - (r.x + r.w); h = m.h };
+        add { m with h = r.y - m.y };
+        add { x = m.x; y = r.y + r.h; w = m.w; h = m.y + m.h - (r.y + r.h) }
+      end)
+    t.mers;
+  let pieces = List.sort_uniq compare !pieces in
+  let kept =
+    List.filter
+      (fun p ->
+        (not (List.exists (fun s -> contains s p) !survivors))
+        && not (List.exists (fun q -> q <> p && contains q p) pieces))
+      pieces
+  in
+  t.mers <- List.sort rect_order (!survivors @ kept)
+
+(* All maximal empty rectangles (w.r.t. [obstacles] inside the chip)
+   that intersect the rectangle [f]. *)
+let maximal_through t obstacles f =
+  let xls =
+    List.sort_uniq compare
+      (0 :: List.filter_map
+              (fun o ->
+                let e = o.x + o.w in
+                if e < f.x + f.w && e < t.width then Some e else None)
+              obstacles)
+  in
+  let xrs =
+    List.sort_uniq compare
+      (t.width
+      :: List.filter_map
+           (fun o -> if o.x > f.x && o.x > 0 then Some o.x else None)
+           obstacles)
+  in
+  let candidates = ref [] in
+  List.iter
+    (fun xl ->
+      if xl < f.x + f.w then
+        List.iter
+          (fun xr ->
+            if xr > xl && xr > f.x then begin
+              (* Obstacles overlapping the x-span [xl, xr). *)
+              let in_strip =
+                List.filter (fun o -> o.x < xr && o.x + o.w > xl) obstacles
+              in
+              let spans =
+                List.sort compare (List.map (fun o -> (o.y, o.y + o.h)) in_strip)
+              in
+              (* Maximal y-gaps of the strip. *)
+              let gaps = ref [] in
+              let cursor = ref 0 in
+              List.iter
+                (fun (lo, hi) ->
+                  if lo > !cursor then gaps := (!cursor, lo) :: !gaps;
+                  cursor := max !cursor hi)
+                spans;
+              if t.height > !cursor then gaps := (!cursor, t.height) :: !gaps;
+              List.iter
+                (fun (yl, yr) ->
+                  if
+                    (* intersects the freed rectangle *)
+                    yl < f.y + f.h && f.y < yr
+                    (* horizontally maximal: blocked on both sides *)
+                    && (xl = 0
+                       || List.exists
+                            (fun o ->
+                              o.x < xl && o.x + o.w >= xl && o.y < yr
+                              && yl < o.y + o.h)
+                            obstacles)
+                    && (xr = t.width
+                       || List.exists
+                            (fun o ->
+                              o.x <= xr && o.x + o.w > xr && o.y < yr
+                              && yl < o.y + o.h)
+                            obstacles)
+                  then
+                    candidates :=
+                      { x = xl; y = yl; w = xr - xl; h = yr - yl }
+                      :: !candidates)
+                !gaps
+            end)
+          xrs)
+    xls;
+  List.sort_uniq compare !candidates
+
+let remove t ~id =
+  match Hashtbl.find_opt t.occupied id with
+  | None -> invalid_arg "Free_space.remove: unknown id"
+  | Some f ->
+    Hashtbl.remove t.occupied id;
+    t.used <- t.used - (f.w * f.h);
+    let obstacles = Hashtbl.fold (fun _ o acc -> o :: acc) t.occupied [] in
+    let fresh = maximal_through t obstacles f in
+    let survivors =
+      List.filter
+        (fun m -> not (List.exists (fun c -> contains c m) fresh))
+        t.mers
+    in
+    t.mers <- List.sort rect_order (survivors @ fresh)

@@ -1,104 +1,611 @@
 module Instance = Packing.Instance
 module PO = Order.Partial_order
+module Trace = Packing.Trace
+module Telemetry = Packing.Telemetry
 
-type arrival = {
-  task : int;
-  arrival_time : int;
+type task = {
+  w : int;
+  h : int;
+  duration : int;
+  arrival : int;
+  preds : int list;
 }
+
+type policy = Corner | First_fit | Best_fit | Worst_fit
 
 type event =
   | Placed of { task : int; x : int; y : int; time : int }
   | Deferred of { task : int; until : int }
-  | Compacted of { moved : int list; time : int }
+  | Compacted of { moved : int list; time : int; cost : int; enabled : int }
   | Rejected of { task : int }
+
+type latency = {
+  samples : int;
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+}
 
 type report = {
   events : event list;
   makespan : int;
   placed : int;
   rejected : int;
+  never_arrived : int;
+  deferrals : int;
   compactions : int;
+  moved_tasks : int;
+  move_cycles : int;
+  utilization : float;
+  latency : latency;
   placement : Geometry.Placement.t option;
 }
 
-type running = {
-  id : int;
-  mutable x : int;
-  mutable y : int;
-  start : int;
-  mutable finish : int;
-}
+(* A compaction proposal's layout: the re-packed running set, queryable
+   for "would this footprint fit". *)
+type proposal_layout =
+  | Corner_layout of (int * int * int * int) list
+  | Fs_layout of Free_space.t
 
-let overlaps_running inst a ~x ~y ~task =
-  let w = Instance.extent inst task 0 and h = Instance.extent inst task 1 in
-  let aw = Instance.extent inst a.id 0 and ah = Instance.extent inst a.id 1 in
-  x < a.x + aw && a.x < x + w && y < a.y + ah && a.y < y + h
+(* Min-heap of (time, task) wake-ups: tasks whose predecessors have all
+   finished, keyed by the time they become attemptable. *)
+module Heap = struct
+  type t = { mutable a : (int * int) array; mutable len : int }
 
-(* Corner candidates against a set of running tasks. *)
-let find_spot inst chip running ~task =
-  let w = Instance.extent inst task 0 and h = Instance.extent inst task 1 in
-  if w > Chip.width chip || h > Chip.height chip then None
+  let create () = { a = Array.make 16 (max_int, -1); len = 0 }
+
+  let push h x =
+    if h.len = Array.length h.a then begin
+      let b = Array.make (2 * h.len) (max_int, -1) in
+      Array.blit h.a 0 b 0 h.len;
+      h.a <- b
+    end;
+    h.a.(h.len) <- x;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      fst h.a.(p) > fst h.a.(!i)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let peek h = if h.len = 0 then None else Some h.a.(0)
+
+  let pop h =
+    match peek h with
+    | None -> None
+    | Some top ->
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      let i = ref 0 and sift = ref true in
+      while !sift do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < h.len && fst h.a.(l) < fst h.a.(!s) then s := l;
+        if r < h.len && fst h.a.(r) < fst h.a.(!s) then s := r;
+        if !s = !i then sift := false
+        else begin
+          let tmp = h.a.(!s) in
+          h.a.(!s) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !s
+        end
+      done;
+      Some top
+end
+
+(* Corner-candidate bottom-left scan (the historical heuristic):
+   candidate positions are the cross product of {0, right edges} and
+   {0, top edges}; pick the first feasible one in (y, x) order. *)
+let corner_find ~cw ~ch rects ~w ~h =
+  if w > cw || h > ch then None
   else begin
     let xs = ref [ 0 ] and ys = ref [ 0 ] in
     List.iter
-      (fun a ->
-        xs := (a.x + Instance.extent inst a.id 0) :: !xs;
-        ys := (a.y + Instance.extent inst a.id 1) :: !ys)
-      running;
-    let best = ref None in
-    List.iter
-      (fun y ->
-        List.iter
-          (fun x ->
-            if
-              !best = None
-              && x + w <= Chip.width chip
-              && y + h <= Chip.height chip
-              && not (List.exists (overlaps_running inst ~x ~y ~task) running)
-            then best := Some (x, y))
-          (List.sort_uniq compare !xs))
-      (List.sort_uniq compare !ys);
-    !best
+      (fun (x, y, rw, rh) ->
+        xs := (x + rw) :: !xs;
+        ys := (y + rh) :: !ys)
+      rects;
+    let xs = List.sort_uniq compare !xs and ys = List.sort_uniq compare !ys in
+    let found = ref None in
+    (try
+       List.iter
+         (fun y ->
+           if y + h <= ch then
+             List.iter
+               (fun x ->
+                 if
+                   x + w <= cw
+                   && not
+                        (List.exists
+                           (fun (ox, oy, ow, oh) ->
+                             x < ox + ow && ox < x + w && y < oy + oh
+                             && oy < y + h)
+                           rects)
+                 then begin
+                   found := Some (x, y);
+                   raise Exit
+                 end)
+               xs)
+         ys
+     with Exit -> ());
+    !found
   end
 
-(* Bottom-left re-pack of the running set; returns the list of moved
-   tasks, or None when the greedy pass fails (positions untouched). *)
-let compact inst chip running =
-  let by_area =
-    List.sort
-      (fun a b ->
-        compare
-          (Instance.extent inst b.id 0 * Instance.extent inst b.id 1, a.id)
-          (Instance.extent inst a.id 0 * Instance.extent inst a.id 1, b.id))
-      running
+let run_stream ?(policy = Corner) ?(reconfig = Reconfig.Constant 0)
+    ?(trace = Trace.null) tasks ~chip ~compaction ~move_delay =
+  let n = Array.length tasks in
+  if move_delay < 0 then invalid_arg "Online.run_stream: negative move delay";
+  Array.iteri
+    (fun i t ->
+      if t.w <= 0 || t.h <= 0 then
+        invalid_arg "Online.run_stream: non-positive extent";
+      if t.duration <= 0 then
+        invalid_arg "Online.run_stream: non-positive duration";
+      List.iter
+        (fun j ->
+          if j < 0 || j >= n then
+            invalid_arg "Online.run_stream: bad predecessor";
+          if j = i then invalid_arg "Online.run_stream: self precedence")
+        t.preds)
+    tasks;
+  let cw = Chip.width chip and ch = Chip.height chip in
+  let tw i = tasks.(i).w and th i = tasks.(i).h in
+  let area i = tw i * th i in
+  (* Deduplicated predecessor lists and the successor adjacency. *)
+  let preds = Array.map (fun t -> List.sort_uniq compare t.preds) tasks in
+  let succs = Array.make n [] in
+  let remaining = Array.make n 0 in
+  Array.iteri
+    (fun i ps ->
+      remaining.(i) <- List.length ps;
+      List.iter (fun j -> succs.(j) <- i :: succs.(j)) ps)
+    preds;
+  let status = Array.make n `Pending in
+  let doomed = Array.make n false in
+  let px = Array.make n 0 and py = Array.make n 0 in
+  let start_ = Array.make n 0 and finish_ = Array.make n 0 in
+  let running = ref [] in
+  let fs =
+    match policy with
+    | Corner -> None
+    | First_fit -> Some (Free_space.create ~w:cw ~h:ch, Free_space.First_fit)
+    | Best_fit -> Some (Free_space.create ~w:cw ~h:ch, Free_space.Best_fit)
+    | Worst_fit -> Some (Free_space.create ~w:cw ~h:ch, Free_space.Worst_fit)
   in
-  let proposed = ref [] in
-  let ok =
-    List.for_all
-      (fun a ->
-        match find_spot inst chip !proposed ~task:a.id with
-        | None -> false
-        | Some (x, y) ->
-          proposed := { a with x; y } :: !proposed;
-          true)
-      by_area
+  (* Layout generation counter: any place/retire/compaction bumps it,
+     invalidating the cached compaction proposal. *)
+  let version = ref 0 in
+  let proposal_cache = ref None in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let compactions = ref 0 and moved_tasks = ref 0 and move_cycles = ref 0 in
+  let deferrals = ref 0 in
+  let deferred_once = Array.make n false in
+  let lat = ref [] in
+  (* Eligible = arrived, all predecessors finished, not yet placed.
+     [sched] holds future wake-ups (time, task); [eligible] the tasks
+     attemptable now; [doomed_pending] arrived-listed tasks whose
+     (transitive) predecessor was rejected, awaiting their own
+     rejection in pass order. *)
+  let sched = Heap.create () in
+  let eligible = ref [] in
+  let doomed_pending = ref [] in
+  Array.iteri
+    (fun i (t : task) ->
+      if remaining.(i) = 0 && t.arrival < max_int then
+        Heap.push sched (t.arrival, i))
+    tasks;
+  let ready_time i =
+    List.fold_left (fun acc j -> max acc finish_.(j)) tasks.(i).arrival preds.(i)
   in
-  if not ok then None
-  else begin
-    let moved = ref [] in
+  let rec promote clock =
+    match Heap.peek sched with
+    | Some (t, i) when t <= clock ->
+      ignore (Heap.pop sched);
+      if status.(i) = `Pending && not doomed.(i) then begin
+        (* Re-check against live finishes: a committed compaction may
+           have stretched a predecessor past the scheduled time. *)
+        let r = ready_time i in
+        if r <= clock then eligible := i :: !eligible
+        else Heap.push sched (r, i)
+      end;
+      promote clock
+    | _ -> ()
+  in
+  let running_rects () =
+    List.map (fun id -> (px.(id), py.(id), tw id, th id)) !running
+  in
+  let find_position ~w ~h =
+    match fs with
+    | None -> corner_find ~cw ~ch (running_rects ()) ~w ~h
+    | Some (f, pol) -> Free_space.find f ~policy:pol ~w ~h
+  in
+  let reject clock i =
+    status.(i) <- `Rejected;
+    push (Rejected { task = i });
+    Trace.online_op trace ~op:"reject" ~task:i ~sim_time:clock ~dur_s:0.0;
+    (* Doom every transitive successor; the arrived-listed ones get
+       their rejection event in pass order, the rest surface as
+       [never_arrived]. *)
+    let rec propagate = function
+      | [] -> ()
+      | v :: stack ->
+        if (not doomed.(v)) && status.(v) = `Pending then begin
+          doomed.(v) <- true;
+          if tasks.(v).arrival < max_int then
+            doomed_pending := v :: !doomed_pending;
+          propagate (List.rev_append succs.(v) stack)
+        end
+        else propagate stack
+    in
+    propagate succs.(i)
+  in
+  let commit_place i x y clock t0 =
+    px.(i) <- x;
+    py.(i) <- y;
+    start_.(i) <- clock;
+    finish_.(i) <- clock + tasks.(i).duration;
+    status.(i) <- `Done;
+    running := i :: !running;
+    (match fs with
+    | Some (f, _) -> Free_space.place f ~id:i ~x ~y ~w:(tw i) ~h:(th i)
+    | None -> ());
+    incr version;
+    push (Placed { task = i; x; y; time = clock });
+    let d = Unix.gettimeofday () -. t0 in
+    lat := (d *. 1e6) :: !lat;
+    Trace.online_op trace ~op:"place" ~task:i ~sim_time:clock ~dur_s:d;
     List.iter
-      (fun p ->
-        let a = List.find (fun a -> a.id = p.id) running in
-        if a.x <> p.x || a.y <> p.y then begin
-          a.x <- p.x;
-          a.y <- p.y;
-          moved := a.id :: !moved
+      (fun v ->
+        if status.(v) = `Pending && not doomed.(v) then begin
+          remaining.(v) <- remaining.(v) - 1;
+          if remaining.(v) = 0 && tasks.(v).arrival < max_int then
+            Heap.push sched (ready_time v, v)
         end)
-      !proposed;
-    Some (List.sort compare !moved)
-  end
+      succs.(i)
+  in
+  let layout_find layout ~w ~h =
+    match layout with
+    | Corner_layout rects -> corner_find ~cw ~ch rects ~w ~h
+    | Fs_layout f ->
+      let pol =
+        match fs with Some (_, p) -> p | None -> Free_space.First_fit
+      in
+      Free_space.find f ~policy:pol ~w ~h
+  in
+  let layout_copy = function
+    | Corner_layout r -> Corner_layout r
+    | Fs_layout f -> Fs_layout (Free_space.copy f)
+  in
+  let layout_place layout id x y w h =
+    match layout with
+    | Corner_layout r -> Corner_layout ((x, y, w, h) :: r)
+    | Fs_layout f ->
+      Free_space.place f ~id ~x ~y ~w ~h;
+      layout
+  in
+  (* Bottom-left re-pack of the running set, largest-area first. *)
+  let make_proposal () =
+    let ids =
+      List.sort (fun a b -> compare (area b, a) (area a, b)) !running
+    in
+    match fs with
+    | None ->
+      let rects = ref [] and pos = ref [] in
+      let ok =
+        List.for_all
+          (fun id ->
+            match corner_find ~cw ~ch !rects ~w:(tw id) ~h:(th id) with
+            | None -> false
+            | Some (x, y) ->
+              rects := (x, y, tw id, th id) :: !rects;
+              pos := (id, x, y) :: !pos;
+              true)
+          ids
+      in
+      if ok then Some (List.rev !pos, Corner_layout !rects) else None
+    | Some _ ->
+      let pf = Free_space.create ~w:cw ~h:ch in
+      let pos = ref [] in
+      let ok =
+        List.for_all
+          (fun id ->
+            match
+              Free_space.find pf ~policy:Free_space.First_fit ~w:(tw id)
+                ~h:(th id)
+            with
+            | None -> false
+            | Some (x, y) ->
+              Free_space.place pf ~id ~x ~y ~w:(tw id) ~h:(th id);
+              pos := (id, x, y) :: !pos;
+              true)
+          ids
+      in
+      if ok then Some (List.rev !pos, Fs_layout pf) else None
+  in
+  (* Transactional cost-aware compaction triggered by blocked task [i]:
+     propose a re-pack, roll back (no mutation, no cost) unless the
+     trigger fits the proposed layout AND the modeled benefit — wait
+     time saved for blocked tasks the new layout can host until the
+     next retirement — exceeds the modeled cost (configuration reload
+     plus move delay per moved module). *)
+  let try_compact i clock t0 =
+    let proposal =
+      match !proposal_cache with
+      | Some (v, p) when v = !version -> p
+      | _ ->
+        let p = make_proposal () in
+        proposal_cache := Some (!version, p);
+        p
+    in
+    match proposal with
+    | None -> false
+    | Some (positions, layout) -> (
+      match layout_find layout ~w:(tw i) ~h:(th i) with
+      | None -> false
+      | Some _ ->
+        let moved =
+          List.filter (fun (id, x, y) -> px.(id) <> x || py.(id) <> y) positions
+        in
+        if moved = [] then false
+        else begin
+          let move_cost id =
+            Reconfig.load_time reconfig ~w:(tw id) ~h:(th id) + move_delay
+          in
+          let cost =
+            List.fold_left (fun acc (id, _, _) -> acc + move_cost id) 0 moved
+          in
+          let next_finish =
+            List.fold_left (fun acc id -> min acc finish_.(id)) max_int !running
+          in
+          let horizon = max 1 (next_finish - clock) in
+          (* Greedily fill the proposed layout with the blocked tasks,
+             largest first: each one it hosts would otherwise wait for
+             the next retirement. *)
+          let blocked =
+            List.sort
+              (fun a b -> compare (area b, a) (area a, b))
+              (List.filter (fun j -> status.(j) = `Pending) !eligible)
+          in
+          let enabled = ref 0 in
+          let l = ref (layout_copy layout) in
+          List.iter
+            (fun j ->
+              match layout_find !l ~w:(tw j) ~h:(th j) with
+              | None -> ()
+              | Some (x, y) ->
+                incr enabled;
+                l := layout_place !l j x y (tw j) (th j))
+            blocked;
+          let benefit = !enabled * horizon in
+          if benefit <= cost then false
+          else begin
+            List.iter
+              (fun (id, x, y) ->
+                if px.(id) <> x || py.(id) <> y then begin
+                  px.(id) <- x;
+                  py.(id) <- y;
+                  finish_.(id) <- finish_.(id) + move_cost id
+                end)
+              positions;
+            (match fs with
+            | None -> ()
+            | Some (f, _) ->
+              List.iter (fun id -> Free_space.remove f ~id) !running;
+              List.iter
+                (fun id ->
+                  Free_space.place f ~id ~x:px.(id) ~y:py.(id) ~w:(tw id)
+                    ~h:(th id))
+                !running);
+            incr version;
+            incr compactions;
+            let moved_ids =
+              List.sort compare (List.map (fun (id, _, _) -> id) moved)
+            in
+            moved_tasks := !moved_tasks + List.length moved_ids;
+            move_cycles := !move_cycles + cost;
+            push
+              (Compacted
+                 { moved = moved_ids; time = clock; cost; enabled = !enabled });
+            Trace.online_op trace ~op:"compact" ~task:i ~sim_time:clock
+              ~dur_s:(Unix.gettimeofday () -. t0);
+            true
+          end
+        end)
+  in
+  let attempt i clock =
+    let t0 = Unix.gettimeofday () in
+    match find_position ~w:(tw i) ~h:(th i) with
+    | Some (x, y) ->
+      commit_place i x y clock t0;
+      true
+    | None ->
+      if !running = [] then begin
+        (* Fails on an empty chip: can never fit. *)
+        reject clock i;
+        true
+      end
+      else if compaction && try_compact i clock t0 then begin
+        (* The committed layout is the proposal the trigger was checked
+           against, so this find cannot fail. *)
+        match find_position ~w:(tw i) ~h:(th i) with
+        | Some (x, y) ->
+          commit_place i x y clock t0;
+          true
+        | None -> assert false
+      end
+      else false
+  in
+  let pass clock =
+    let progress = ref false in
+    let items =
+      List.sort
+        (fun a b -> compare (area b, a) (area a, b))
+        (List.rev_append !doomed_pending !eligible)
+    in
+    doomed_pending := [];
+    List.iter
+      (fun i ->
+        if status.(i) = `Pending then
+          if doomed.(i) then begin
+            reject clock i;
+            progress := true
+          end
+          else if attempt i clock then progress := true)
+      items;
+    eligible := List.filter (fun i -> status.(i) = `Pending) !eligible;
+    doomed_pending :=
+      List.filter (fun i -> status.(i) = `Pending) !doomed_pending;
+    !progress
+  in
+  let retire clock =
+    let keep, gone = List.partition (fun id -> finish_.(id) > clock) !running in
+    if gone <> [] then begin
+      running := keep;
+      List.iter
+        (fun id ->
+          (match fs with
+          | Some (f, _) -> Free_space.remove f ~id
+          | None -> ());
+          Trace.online_op trace ~op:"retire" ~task:id ~sim_time:clock
+            ~dur_s:0.0)
+        gone;
+      incr version
+    end
+  in
+  let first_time =
+    Array.fold_left (fun acc (t : task) -> min acc t.arrival) max_int tasks
+  in
+  let arr =
+    let l = ref [] in
+    Array.iteri
+      (fun i (t : task) -> if t.arrival < max_int then l := (t.arrival, i) :: !l)
+      tasks;
+    Array.of_list (List.sort compare !l)
+  in
+  let arr_ptr = ref 0 in
+  let clock = ref (if first_time < max_int then first_time else 0) in
+  if first_time < max_int then begin
+    let quiescent = ref false in
+    while not !quiescent do
+      retire !clock;
+      promote !clock;
+      while pass !clock do
+        ()
+      done;
+      (* Next event: earliest running finish, pending arrival, or
+         scheduled wake-up. *)
+      let next = ref max_int in
+      List.iter
+        (fun id -> if finish_.(id) > !clock then next := min !next finish_.(id))
+        !running;
+      let scanning = ref true in
+      while !scanning && !arr_ptr < Array.length arr do
+        let t, i = arr.(!arr_ptr) in
+        if t <= !clock || status.(i) <> `Pending then incr arr_ptr
+        else begin
+          next := min !next t;
+          scanning := false
+        end
+      done;
+      (match Heap.peek sched with
+      | Some (t, _) when t > !clock -> next := min !next t
+      | _ -> ());
+      if !next < max_int then begin
+        List.iter
+          (fun i ->
+            if status.(i) = `Pending && not deferred_once.(i) then begin
+              deferred_once.(i) <- true;
+              incr deferrals;
+              push (Deferred { task = i; until = !next });
+              Trace.online_op trace ~op:"defer" ~task:i ~sim_time:!clock
+                ~dur_s:0.0
+            end)
+          !eligible;
+        clock := !next
+      end
+      else quiescent := true
+    done
+  end;
+  (* Quiescence: anything still pending either waited forever for space
+     or a predecessor (arrival-listed: rejected) or never arrived at
+     all (counted separately — the seed left these uncounted). *)
+  for i = 0 to n - 1 do
+    if status.(i) = `Pending && tasks.(i).arrival < max_int then begin
+      status.(i) <- `Rejected;
+      push (Rejected { task = i });
+      Trace.online_op trace ~op:"reject" ~task:i ~sim_time:!clock ~dur_s:0.0
+    end
+  done;
+  let placed = ref 0 and rejected = ref 0 and never = ref 0 in
+  let makespan = ref 0 and busy = ref 0 in
+  for i = 0 to n - 1 do
+    match status.(i) with
+    | `Done ->
+      incr placed;
+      makespan := max !makespan finish_.(i);
+      busy := !busy + (area i * (finish_.(i) - start_.(i)))
+    | `Rejected -> incr rejected
+    | `Pending -> incr never
+  done;
+  let utilization =
+    if first_time < max_int && !makespan > first_time then
+      float_of_int !busy /. float_of_int (cw * ch * (!makespan - first_time))
+    else 0.0
+  in
+  let lat_arr = Array.of_list !lat in
+  let latency =
+    {
+      samples = Array.length lat_arr;
+      p50_us = Telemetry.percentile lat_arr ~p:0.5;
+      p99_us = Telemetry.percentile lat_arr ~p:0.99;
+      max_us = Array.fold_left Float.max 0.0 lat_arr;
+    }
+  in
+  {
+    events = List.rev !events;
+    makespan = !makespan;
+    placed = !placed;
+    rejected = !rejected;
+    never_arrived = !never;
+    deferrals = !deferrals;
+    compactions = !compactions;
+    moved_tasks = !moved_tasks;
+    move_cycles = !move_cycles;
+    utilization;
+    latency;
+    placement = None;
+  }
 
-let run inst arrivals ~chip ~compaction ~move_delay =
+let counters (r : report) : Telemetry.online_counters =
+  {
+    Telemetry.tasks = r.placed + r.rejected + r.never_arrived;
+    placements = r.placed;
+    rejections = r.rejected;
+    never_arrived = r.never_arrived;
+    deferrals = r.deferrals;
+    compactions = r.compactions;
+    moved_tasks = r.moved_tasks;
+    move_cycles = r.move_cycles;
+    makespan = r.makespan;
+    utilization = r.utilization;
+    latency_samples = r.latency.samples;
+    latency_p50_us = r.latency.p50_us;
+    latency_p99_us = r.latency.p99_us;
+    latency_max_us = r.latency.max_us;
+  }
+
+type arrival = { task : int; arrival_time : int }
+
+let run ?policy ?reconfig ?trace inst arrivals ~chip ~compaction ~move_delay =
   let n = Instance.count inst in
   let seen = Array.make n false in
   List.iter
@@ -108,170 +615,37 @@ let run inst arrivals ~chip ~compaction ~move_delay =
       seen.(a.task) <- true)
     arrivals;
   if move_delay < 0 then invalid_arg "Online.run: negative move delay";
-  let p = Instance.precedence inst in
   let arrival = Array.make n max_int in
   List.iter (fun a -> arrival.(a.task) <- a.arrival_time) arrivals;
-  let state = Array.make n `Pending in
-  let running : running list ref = ref [] in
-  let record = Array.make n None in
-  (* (x, y, start, finish, moved) *)
-  let events = ref [] in
-  let push e = events := e :: !events in
-  let compactions = ref 0 in
-  let any_moved = ref false in
-  let finish_of i =
-    match record.(i) with Some (_, _, _, f, _) -> f | None -> max_int
+  (* The transitive reduction suffices for eligibility gating: a cover
+     predecessor finishes no earlier than anything it transitively
+     dominates (durations are positive). *)
+  let preds = Array.make n [] in
+  List.iter
+    (fun (u, v) -> preds.(v) <- u :: preds.(v))
+    (PO.covers (Instance.precedence inst));
+  let tasks =
+    Array.init n (fun i ->
+        {
+          w = Instance.extent inst i 0;
+          h = Instance.extent inst i 1;
+          duration = Instance.duration inst i;
+          arrival = arrival.(i);
+          preds = preds.(i);
+        })
   in
-  let eligible_at i =
-    (* Arrival, and all producers placed and finished. *)
-    if arrival.(i) = max_int then None
-    else begin
-      let t = ref arrival.(i) in
-      let ok = ref true in
-      for u = 0 to n - 1 do
-        if u <> i && PO.precedes p u i then
-          match state.(u) with
-          | `Done -> t := max !t (finish_of u)
-          | `Rejected -> ok := false
-          | `Pending -> ok := false
-        else ()
-      done;
-      if !ok then Some !t
-      else if
-        List.exists
-          (fun u -> u <> i && PO.precedes p u i && state.(u) = `Rejected)
-          (List.init n Fun.id)
-      then Some (-1) (* producer rejected: reject now *)
-      else None (* producer still pending: wait *)
-    end
-  in
-  let rec step clock =
-    (* Retire finished tasks from the running set. *)
-    running := List.filter (fun a -> a.finish > clock) !running;
-    (* Try to start everything eligible now, largest first. *)
-    let progress = ref false in
-    let try_task i =
-      if state.(i) = `Pending then
-        match eligible_at i with
-        | Some t when t < 0 ->
-          state.(i) <- `Rejected;
-          push (Rejected { task = i });
-          progress := true
-        | Some t when t <= clock -> (
-          let place_at x y =
-            let f = clock + Instance.duration inst i in
-            let a = { id = i; x; y; start = clock; finish = f } in
-            running := a :: !running;
-            record.(i) <- Some (x, y, clock, f, false);
-            state.(i) <- `Done;
-            push (Placed { task = i; x; y; time = clock });
-            progress := true
-          in
-          match find_spot inst chip !running ~task:i with
-          | Some (x, y) -> place_at x y
-          | None ->
-            if !running = [] then begin
-              (* Fails on an empty chip: can never fit. *)
-              state.(i) <- `Rejected;
-              push (Rejected { task = i });
-              progress := true
-            end
-            else if compaction then begin
-              match compact inst chip !running with
-              | Some [] | None -> ()
-              | Some moved ->
-                incr compactions;
-                any_moved := true;
-                List.iter
-                  (fun m ->
-                    let a = List.find (fun a -> a.id = m) !running in
-                    a.finish <- a.finish + move_delay;
-                    match record.(m) with
-                    | Some (_, _, s, f, _) ->
-                      record.(m) <- Some (a.x, a.y, s, f + move_delay, true)
-                    | None -> ())
-                  moved;
-                push (Compacted { moved; time = clock });
-                (match find_spot inst chip !running ~task:i with
-                | Some (x, y) -> place_at x y
-                | None -> ())
-            end)
-        | _ -> ()
-    in
-    let order =
-      List.sort
-        (fun a b ->
-          compare
-            (Instance.extent inst b 0 * Instance.extent inst b 1, a)
-            (Instance.extent inst a 0 * Instance.extent inst a 1, b))
-        (List.init n Fun.id)
-    in
-    List.iter try_task order;
-    if !progress then step clock
-    else begin
-      (* Advance to the next interesting time. *)
-      let next = ref max_int in
-      List.iter (fun a -> if a.finish > clock then next := min !next a.finish) !running;
-      for i = 0 to n - 1 do
-        if state.(i) = `Pending then begin
-          if arrival.(i) > clock && arrival.(i) < max_int then
-            next := min !next arrival.(i);
-          match eligible_at i with
-          | Some t when t > clock -> next := min !next t
-          | _ -> ()
-        end
-      done;
-      if !next < max_int then begin
-        (* Record deferrals for tasks that were ready but blocked. *)
-        for i = 0 to n - 1 do
-          if state.(i) = `Pending then
-            match eligible_at i with
-            | Some t when t >= 0 && t <= clock ->
-              push (Deferred { task = i; until = !next })
-            | _ -> ()
-        done;
-        step !next
-      end
-    end
-  in
-  let first_time =
-    List.fold_left (fun acc a -> min acc a.arrival_time) max_int arrivals
-  in
-  if first_time < max_int then step first_time;
-  (* Anything still pending at quiescence is unplaceable (cyclic waits
-     cannot happen: precedence is acyclic). *)
-  for i = 0 to n - 1 do
-    if state.(i) = `Pending && arrival.(i) < max_int then begin
-      state.(i) <- `Rejected;
-      push (Rejected { task = i })
-    end
-  done;
-  let placed = ref 0 and rejected = ref 0 and makespan = ref 0 in
-  for i = 0 to n - 1 do
-    match state.(i) with
-    | `Done ->
-      incr placed;
-      makespan := max !makespan (finish_of i)
-    | `Rejected -> incr rejected
-    | `Pending -> ()
-  done;
+  let r = run_stream ?policy ?reconfig ?trace tasks ~chip ~compaction ~move_delay in
   let placement =
-    if (not !any_moved) && !rejected = 0 && !placed = n && n > 0 then begin
-      let origins =
-        Array.init n (fun i ->
-            match record.(i) with
-            | Some (x, y, s, _, _) -> [| x; y; s |]
-            | None -> [| 0; 0; 0 |])
-      in
+    if r.moved_tasks = 0 && r.rejected = 0 && r.never_arrived = 0 && r.placed = n && n > 0
+    then begin
+      let origins = Array.init n (fun _ -> [| 0; 0; 0 |]) in
+      List.iter
+        (function
+          | Placed { task; x; y; time } -> origins.(task) <- [| x; y; time |]
+          | _ -> ())
+        r.events;
       Some (Geometry.Placement.make (Instance.boxes inst) origins)
     end
     else None
   in
-  {
-    events = List.rev !events;
-    makespan = !makespan;
-    placed = !placed;
-    rejected = !rejected;
-    compactions = !compactions;
-    placement;
-  }
+  { r with placement }

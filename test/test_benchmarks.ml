@@ -160,6 +160,62 @@ let prop_random_within_ranges (seed, _, p) =
 
 
 (* ------------------------------------------------------------------ *)
+(* Arrival streams                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let stream_chip = Fpga.Chip.create ~w:10 ~h:6
+
+let test_stream_deterministic () =
+  let gen () =
+    Generate.arrival_stream ~seed:7 ~n:200 ~chip:stream_chip ~load:1.2
+      ~max_extent:8 ~max_duration:5 ~arc_probability:0.2 ()
+  in
+  Alcotest.(check bool) "same seed, same stream" true (gen () = gen ());
+  let other =
+    Generate.arrival_stream ~seed:8 ~n:200 ~chip:stream_chip ~load:1.2
+      ~max_extent:8 ~max_duration:5 ~arc_probability:0.2 ()
+  in
+  Alcotest.(check bool) "different seed differs" true (gen () <> other)
+
+(* Every generated task fits the chip, arrivals are non-decreasing, and
+   predecessors precede their successors in the array. *)
+let prop_stream_well_formed (seed, _, p) =
+  let tasks =
+    Generate.arrival_stream ~seed ~n:80 ~chip:stream_chip ~load:1.0
+      ~max_extent:8 ~max_duration:5 ~arc_probability:p ()
+  in
+  let ok = ref (Array.length tasks = 80) in
+  let last = ref 0 in
+  Array.iteri
+    (fun i t ->
+      let open Fpga.Online in
+      (* max_extent is clamped to the chip's min side (6 here) *)
+      if t.w < 1 || t.w > 6 || t.h < 1 || t.h > 6 then ok := false;
+      if t.duration < 1 || t.duration > 5 then ok := false;
+      if t.arrival < !last then ok := false;
+      last := t.arrival;
+      List.iter (fun j -> if j < 0 || j >= i then ok := false) t.preds;
+      if List.sort_uniq compare t.preds <> List.sort compare t.preds then
+        ok := false)
+    tasks;
+  !ok
+
+(* The generated stream is directly consumable by the online manager:
+   everything is accounted for and nothing is oversize. *)
+let prop_stream_runs_clean (seed, _, _) =
+  let tasks =
+    Generate.arrival_stream ~seed ~n:60 ~chip:stream_chip ~load:1.5
+      ~max_extent:4 ~max_duration:4 ~arc_probability:0.2 ()
+  in
+  let r =
+    Fpga.Online.run_stream ~policy:Fpga.Online.Best_fit tasks ~chip:stream_chip
+      ~compaction:false ~move_delay:0
+  in
+  r.Fpga.Online.placed = 60
+  && r.Fpga.Online.rejected = 0
+  && r.Fpga.Online.never_arrived = 0
+
+(* ------------------------------------------------------------------ *)
 (* Parametric DFG families                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -232,5 +288,11 @@ let () =
           Alcotest.test_case "guillotine tiles" `Quick test_guillotine_tiles;
           qtest "guillotine witnessed" arb_gen_params prop_guillotine_always_witnessed;
           qtest "random ranges" arb_gen_params prop_random_within_ranges;
+        ] );
+      ( "arrival stream",
+        [
+          Alcotest.test_case "deterministic" `Quick test_stream_deterministic;
+          qtest "well formed" arb_gen_params prop_stream_well_formed;
+          qtest ~count:40 "runs clean" arb_gen_params prop_stream_runs_clean;
         ] );
     ]

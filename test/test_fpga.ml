@@ -289,6 +289,126 @@ let test_vcd_value_changes () =
 
 
 (* ------------------------------------------------------------------ *)
+(* Free-space manager                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module FS = Fpga.Free_space
+
+let test_fs_basic () =
+  let t = FS.create ~w:4 ~h:4 in
+  Alcotest.(check int) "one MER" 1 (FS.mer_count t);
+  Alcotest.(check int) "free" 16 (FS.free_area t);
+  FS.place t ~id:0 ~x:0 ~y:0 ~w:2 ~h:2;
+  Alcotest.(check int) "free after place" 12 (FS.free_area t);
+  Alcotest.(check int) "used" 4 (FS.used_area t);
+  (* Residuals of the single split: the right strip and the top strip. *)
+  Alcotest.(check bool) "right strip is a MER" true
+    (List.mem (2, 0, 2, 4) (FS.mers t));
+  Alcotest.(check bool) "top strip is a MER" true
+    (List.mem (0, 2, 4, 2) (FS.mers t));
+  (match FS.find t ~policy:FS.Best_fit ~w:2 ~h:2 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "2x2 must fit");
+  Alcotest.(check (option (pair int int))) "3x3 does not fit" None
+    (FS.find t ~policy:FS.First_fit ~w:3 ~h:3);
+  FS.remove t ~id:0;
+  Alcotest.(check int) "whole chip again" 1 (FS.mer_count t);
+  Alcotest.(check bool) "full MER" true (List.mem (0, 0, 4, 4) (FS.mers t))
+
+(* Reference implementation: enumerate every maximal empty rectangle of
+   an occupancy bitmap by brute force. *)
+let brute_mers grid ~w ~h =
+  let rect_empty x y rw rh =
+    let ok = ref true in
+    for yy = y to y + rh - 1 do
+      for xx = x to x + rw - 1 do
+        if grid.(yy).(xx) then ok := false
+      done
+    done;
+    !ok
+  in
+  let rects = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      for rh = 1 to h - y do
+        for rw = 1 to w - x do
+          if rect_empty x y rw rh then
+            let extendable =
+              (x > 0 && rect_empty (x - 1) y (rw + 1) rh)
+              || (y > 0 && rect_empty x (y - 1) rw (rh + 1))
+              || (x + rw < w && rect_empty x y (rw + 1) rh)
+              || (y + rh < h && rect_empty x y rw (rh + 1))
+            in
+            if not extendable then rects := (x, y, rw, rh) :: !rects
+        done
+      done
+    done
+  done;
+  List.sort_uniq compare !rects
+
+(* Incremental MER maintenance matches the brute-force enumeration
+   after every place/remove of a random workload. *)
+let prop_fs_matches_brute_force seed =
+  let w = 6 and h = 6 in
+  let rng = Random.State.make [| seed |] in
+  let t = FS.create ~w ~h in
+  let grid = Array.make_matrix h w false in
+  let live = ref [] in
+  let next_id = ref 0 in
+  let set v (x, y, bw, bh) =
+    for yy = y to y + bh - 1 do
+      for xx = x to x + bw - 1 do
+        grid.(yy).(xx) <- v
+      done
+    done
+  in
+  let ok = ref true in
+  for _ = 1 to 30 do
+    if !ok then begin
+      (if !live = [] || Random.State.bool rng then begin
+         let bw = 1 + Random.State.int rng 3
+         and bh = 1 + Random.State.int rng 3 in
+         let policy =
+           match Random.State.int rng 3 with
+           | 0 -> FS.First_fit
+           | 1 -> FS.Best_fit
+           | _ -> FS.Worst_fit
+         in
+         match FS.find t ~policy ~w:bw ~h:bh with
+         | None ->
+           (* no MER fits: the bitmap must agree there is no room *)
+           ok :=
+             not
+               (List.exists
+                  (fun (_, _, rw, rh) -> rw >= bw && rh >= bh)
+                  (brute_mers grid ~w ~h))
+         | Some (x, y) ->
+           let id = !next_id in
+           incr next_id;
+           FS.place t ~id ~x ~y ~w:bw ~h:bh;
+           set true (x, y, bw, bh);
+           live := (id, (x, y, bw, bh)) :: !live
+       end
+       else begin
+         let k = Random.State.int rng (List.length !live) in
+         let id, rect = List.nth !live k in
+         FS.remove t ~id;
+         set false rect;
+         live := List.filter (fun (i, _) -> i <> id) !live
+       end);
+      ok :=
+        !ok
+        && List.sort compare (FS.mers t) = brute_mers grid ~w ~h
+        && FS.free_area t
+           = Array.fold_left
+               (fun acc row ->
+                 Array.fold_left (fun a c -> if c then a else a + 1) acc row)
+               0 grid
+    end
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
 (* Online placement                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -405,6 +525,223 @@ let test_online_duplicate_arrival () =
            [ { Online.task = 0; arrival_time = 0 }; { Online.task = 0; arrival_time = 1 } ]
            ~chip:(Chip.create ~w:2 ~h:2) ~compaction:false ~move_delay:0))
 
+let mk w h duration arrival preds = { Online.w; h; duration; arrival; preds }
+
+(* Tasks absent from the arrival list are accounted for, and tasks
+   depending on them are rejected, not silently dropped. *)
+let test_online_never_arrived () =
+  let inst =
+    online_inst
+      [
+        Box.make3 ~w:1 ~h:1 ~duration:1;
+        Box.make3 ~w:1 ~h:1 ~duration:1;
+        Box.make3 ~w:1 ~h:1 ~duration:1;
+      ]
+      [ (1, 2) ]
+  in
+  (* task 1 is missing from the arrivals; task 2 depends on it *)
+  let r =
+    Online.run inst
+      [ { Online.task = 0; arrival_time = 0 }; { Online.task = 2; arrival_time = 0 } ]
+      ~chip:(Chip.create ~w:4 ~h:4) ~compaction:false ~move_delay:0
+  in
+  Alcotest.(check int) "placed" 1 r.Online.placed;
+  Alcotest.(check int) "never arrived" 1 r.Online.never_arrived;
+  Alcotest.(check int) "dependent rejected" 1 r.Online.rejected;
+  let c = Online.counters r in
+  Alcotest.(check int) "counters add up" 3 c.Packing.Telemetry.tasks
+
+(* Repacking B and C on a full-width-minus-one chip cannot make room
+   for the 2-wide arrival: the transactional compaction must roll back
+   and charge nothing. *)
+let test_online_compaction_rollback () =
+  let tasks =
+    [| mk 1 1 1 0 []; mk 1 1 10 0 []; mk 1 1 10 0 []; mk 2 1 1 1 [] |]
+  in
+  let r =
+    Online.run_stream tasks ~chip:(Chip.create ~w:3 ~h:1) ~compaction:true
+      ~move_delay:1
+  in
+  Alcotest.(check int) "all placed eventually" 4 r.Online.placed;
+  Alcotest.(check int) "no compaction committed" 0 r.Online.compactions;
+  Alcotest.(check int) "no cycles charged" 0 r.Online.move_cycles;
+  (* identical outcome to the compaction-off run *)
+  let off =
+    Online.run_stream tasks ~chip:(Chip.create ~w:3 ~h:1) ~compaction:false
+      ~move_delay:1
+  in
+  Alcotest.(check int) "same makespan as off" off.Online.makespan
+    r.Online.makespan
+
+(* Same stream on a 4-wide chip: after the first module retires, the
+   free cells are split x=0 / x=3; sliding B and C left makes the
+   2-wide arrival fit, so the compaction commits and is paid for. *)
+let test_online_compaction_commit () =
+  let tasks =
+    [| mk 1 1 1 0 []; mk 1 1 10 0 []; mk 1 1 10 0 []; mk 2 1 1 1 [] |]
+  in
+  let r =
+    Online.run_stream tasks ~chip:(Chip.create ~w:4 ~h:1) ~compaction:true
+      ~move_delay:1
+  in
+  Alcotest.(check int) "all placed" 4 r.Online.placed;
+  Alcotest.(check int) "one compaction" 1 r.Online.compactions;
+  Alcotest.(check int) "two modules moved" 2 r.Online.moved_tasks;
+  Alcotest.(check int) "move delay charged per module" 2 r.Online.move_cycles;
+  Alcotest.(check bool) "wide task placed at its arrival" true
+    (List.exists
+       (function
+         | Online.Placed { task = 3; time = 1; _ } -> true
+         | _ -> false)
+       r.Online.events);
+  List.iter
+    (function
+      | Online.Compacted { enabled; _ } ->
+        Alcotest.(check bool) "compaction enabled a placement" true (enabled >= 1)
+      | _ -> ())
+    r.Online.events
+
+let policy_of = function
+  | 0 -> Online.Corner
+  | 1 -> Online.First_fit
+  | 2 -> Online.Best_fit
+  | _ -> Online.Worst_fit
+
+let arb_policy_seed = QCheck.(pair (int_range 0 3) (int_range 0 9_999))
+
+(* Structural invariants of any run, for every policy: accounting adds
+   up, deferral events are deduplicated, no two tasks overlap in space
+   while overlapping in time, and arrivals/precedence gate starts. *)
+let prop_stream_invariants (p, seed) =
+  let chip = Chip.create ~w:8 ~h:8 in
+  let tasks =
+    Benchmarks.Generate.arrival_stream ~seed ~n:40 ~chip ~load:1.5
+      ~max_extent:4 ~max_duration:6 ~arc_probability:0.2 ()
+  in
+  let r =
+    Online.run_stream ~policy:(policy_of p) tasks ~chip ~compaction:false
+      ~move_delay:0
+  in
+  let n = Array.length tasks in
+  let start = Array.make n (-1) and px = Array.make n 0 and py = Array.make n 0 in
+  List.iter
+    (function
+      | Online.Placed { task; x; y; time } ->
+        start.(task) <- time;
+        px.(task) <- x;
+        py.(task) <- y
+      | _ -> ())
+    r.Online.events;
+  let placed i = start.(i) >= 0 in
+  let finish i = start.(i) + tasks.(i).Online.duration in
+  let ids = List.init n Fun.id in
+  r.Online.placed + r.Online.rejected + r.Online.never_arrived = n
+  && (let seen = Hashtbl.create 16 in
+      List.for_all
+        (function
+          | Online.Deferred { task; _ } ->
+            if Hashtbl.mem seen task then false
+            else begin
+              Hashtbl.add seen task ();
+              true
+            end
+          | _ -> true)
+        r.Online.events)
+  && List.for_all
+       (fun i ->
+         (not (placed i))
+         || start.(i) >= tasks.(i).Online.arrival
+            && List.for_all
+                 (fun pr -> placed pr && start.(i) >= finish pr)
+                 tasks.(i).Online.preds)
+       ids
+  && List.for_all
+       (fun i ->
+         List.for_all
+           (fun j ->
+             i >= j
+             || (not (placed i && placed j))
+             || start.(i) >= finish j
+             || start.(j) >= finish i
+             || px.(i) + tasks.(i).Online.w <= px.(j)
+             || px.(j) + tasks.(j).Online.w <= px.(i)
+             || py.(i) + tasks.(i).Online.h <= py.(j)
+             || py.(j) + tasks.(j).Online.h <= py.(i))
+           ids)
+       ids
+
+(* Rejection is layout-independent (oversize footprints and doomed
+   successors only), so every fit policy rejects the same set. *)
+let prop_policies_agree_on_rejection seed =
+  let chip = Chip.create ~w:8 ~h:8 in
+  let tasks =
+    Benchmarks.Generate.arrival_stream ~seed ~n:30 ~chip ~load:1.5
+      ~max_extent:4 ~max_duration:5 ~arc_probability:0.3 ()
+  in
+  let tasks =
+    Array.mapi
+      (fun i t -> if i mod 7 = 3 then { t with Online.w = 9 } else t)
+      tasks
+  in
+  let rejected_set p =
+    let r =
+      Online.run_stream ~policy:p tasks ~chip ~compaction:false ~move_delay:0
+    in
+    List.sort compare
+      (List.filter_map
+         (function Online.Rejected { task } -> Some task | _ -> None)
+         r.Online.events)
+  in
+  let reference = rejected_set Online.Corner in
+  reference <> []
+  && List.for_all
+       (fun p -> rejected_set p = reference)
+       [ Online.First_fit; Online.Best_fit; Online.Worst_fit ]
+
+(* With everything available at time 0 and no moves, any online
+   makespan is lower-bounded by the exact compile-time optimum. *)
+let prop_online_at_least_optimum seed =
+  let container = Geometry.Container.make3 ~w:6 ~h:6 ~t_max:30 in
+  let inst, _ =
+    Benchmarks.Generate.guillotine ~seed ~container ~cuts:5 ~arc_probability:0.3 ()
+  in
+  let arrivals =
+    List.init (Packing.Instance.count inst) (fun i ->
+        { Online.task = i; arrival_time = 0 })
+  in
+  match Packing.Problems.minimize_time inst ~w:6 ~h:6 with
+  | Packing.Problems.Optimal { value; _ } ->
+    List.for_all
+      (fun policy ->
+        let r =
+          Online.run ~policy inst arrivals ~chip:(Chip.create ~w:6 ~h:6)
+            ~compaction:false ~move_delay:0
+        in
+        r.Online.placed < Packing.Instance.count inst
+        || r.Online.makespan >= value)
+      [ Online.Corner; Online.First_fit; Online.Best_fit; Online.Worst_fit ]
+  | _ -> false
+
+(* The cost-aware trigger never charges move cycles without a committed
+   compaction, and every committed compaction enabled a placement. *)
+let prop_defrag_never_wasted (p, seed) =
+  let chip = Chip.create ~w:8 ~h:8 in
+  let tasks =
+    Benchmarks.Generate.arrival_stream ~seed ~n:40 ~chip ~load:2.5
+      ~max_extent:5 ~max_duration:8 ~arc_probability:0.1 ()
+  in
+  let r =
+    Online.run_stream ~policy:(policy_of p) ~reconfig:(Reconfig.Constant 1)
+      tasks ~chip ~compaction:true ~move_delay:2
+  in
+  List.for_all
+    (function
+      | Online.Compacted { enabled; moved; _ } -> enabled >= 1 && moved <> []
+      | _ -> true)
+    r.Online.events
+  && (r.Online.move_cycles = 0 || r.Online.compactions > 0)
+  && (r.Online.compactions = 0 || r.Online.move_cycles > 0)
+
 (* Online placements that report a full placement are geometrically
    feasible. *)
 let prop_online_placements_valid seed =
@@ -505,6 +842,11 @@ let () =
           qtest ~count:40 "solved placements simulate" arb_seed
             prop_solved_placements_simulate;
         ] );
+      ( "free space",
+        [
+          Alcotest.test_case "basics" `Quick test_fs_basic;
+          qtest ~count:80 "matches brute force" arb_seed prop_fs_matches_brute_force;
+        ] );
       ( "online",
         [
           Alcotest.test_case "basic" `Quick test_online_basic;
@@ -513,7 +855,19 @@ let () =
           Alcotest.test_case "precedence" `Quick test_online_precedence;
           Alcotest.test_case "compaction" `Quick test_online_compaction_helps;
           Alcotest.test_case "duplicate arrival" `Quick test_online_duplicate_arrival;
+          Alcotest.test_case "never arrived" `Quick test_online_never_arrived;
+          Alcotest.test_case "compaction rollback" `Quick
+            test_online_compaction_rollback;
+          Alcotest.test_case "compaction commit" `Quick
+            test_online_compaction_commit;
           qtest ~count:60 "placements valid" arb_seed prop_online_placements_valid;
+          qtest ~count:60 "stream invariants" arb_policy_seed prop_stream_invariants;
+          qtest ~count:40 "policies agree on rejection" arb_seed
+            prop_policies_agree_on_rejection;
+          qtest ~count:30 "online at least optimum" arb_seed
+            prop_online_at_least_optimum;
+          qtest ~count:60 "defrag never wasted" arb_policy_seed
+            prop_defrag_never_wasted;
         ] );
       ( "vcd",
         [
