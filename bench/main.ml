@@ -1380,7 +1380,9 @@ let permute_instance rng inst =
 
 let service_request ~id ~op ?chip ?time inst =
   let open Packing.Telemetry in
-  let io = { Fpga.Instance_io.instance = inst; chip = None; t_max = None } in
+  let io =
+    { Fpga.Instance_io.instance = inst; chip = None; t_max = None; container = None }
+  in
   to_string
     (Obj
        ([
@@ -1490,6 +1492,201 @@ let service_bench () =
   close_out oc;
   Format.printf "  wrote BENCH_service.json@."
 
+(* ------------------------------------------------------------------ *)
+(* Dimension-generic workloads: 2D strip packing with order arcs and   *)
+(* d=4 instances vs. the geometric baseline, plus a d=3 engine         *)
+(* throughput guard — written to BENCH_ddim.json                       *)
+(* ------------------------------------------------------------------ *)
+
+let ddim_tiny () = Sys.getenv_opt "DDIM_TINY" <> None
+
+(* Smallest extent along [axis] the geometric enumeration proves
+   feasible, walking up from 1 (all its probes below are infeasibility
+   proofs, so the first feasible extent is the optimum). *)
+let ddim_baseline_min_extent inst ~axis ~base ~node_limit =
+  let rec walk e nodes =
+    if e > 64 then (None, nodes)
+    else
+      let cont = Geometry.Container.with_extent base axis e in
+      let outcome, (st : Baseline.Geometric_bb.stats) =
+        Baseline.Geometric_bb.solve ~node_limit inst cont
+      in
+      let nodes = nodes + st.nodes + st.positions_tried in
+      match outcome with
+      | Baseline.Geometric_bb.Feasible _ -> (Some e, nodes)
+      | Baseline.Geometric_bb.Infeasible -> walk (e + 1) nodes
+      | Baseline.Geometric_bb.Timeout -> (None, nodes)
+  in
+  walk 1 0
+
+let ddim_bench () =
+  let tiny = ddim_tiny () in
+  Format.printf "@.== Dimension-generic workloads (d=2 strip, d=4) ==@.";
+  if tiny then Format.printf "  (DDIM_TINY set: reduced sizes)@.";
+  let baseline_budget = if tiny then 200_000 else 5_000_000 in
+  let solve_one (name, inst, axis, base) =
+    let probe_nodes = ref 0 in
+    let on_probe (p : Packing.Problems.probe) =
+      probe_nodes := !probe_nodes + p.Packing.Problems.nodes
+    in
+    let result, dt =
+      wall (fun () ->
+          Packing.Problems.minimize_extent ~on_probe inst ~axis ~base)
+    in
+    let optimum =
+      match result with
+      | Packing.Problems.Optimal { value; _ } -> Some value
+      | _ -> None
+    in
+    let (base_opt, base_nodes), base_dt =
+      wall (fun () ->
+          ddim_baseline_min_extent inst ~axis ~base
+            ~node_limit:baseline_budget)
+    in
+    let agree =
+      match (optimum, base_opt) with
+      | Some a, Some b -> Some (a = b)
+      | _ -> None
+    in
+    Format.printf
+      "  %-26s optimum %-4s baseline %-4s %s  %6d vs %8d nodes  (%.3f s vs \
+       %.3f s)@."
+      name
+      (match optimum with Some v -> string_of_int v | None -> "?")
+      (match base_opt with Some v -> string_of_int v | None -> "?")
+      (match agree with
+      | Some true -> "agree"
+      | Some false -> "DISAGREE"
+      | None -> "  -  ")
+      !probe_nodes base_nodes dt base_dt;
+    Printf.sprintf
+      "{\"instance\":\"%s\",\"dim\":%d,\"axis\":%d,\"n\":%d,\"optimum\":%s,\
+       \"baseline_optimum\":%s,\"agree\":%s,\"engine_nodes\":%d,\
+       \"baseline_nodes\":%d,\"engine_elapsed_s\":%.6f,\
+       \"baseline_elapsed_s\":%.6f}"
+      name (Packing.Instance.dim inst) axis (Packing.Instance.count inst)
+      (match optimum with Some v -> string_of_int v | None -> "null")
+      (match base_opt with Some v -> string_of_int v | None -> "null")
+      (match agree with
+      | Some b -> string_of_bool b
+      | None -> "null")
+      !probe_nodes base_nodes dt base_dt
+  in
+  (* 2D strip packing with a reading-order constraint on axis 0:
+     guillotine pieces of a w x h sheet, minimized along axis 1 over a
+     width-w strip. *)
+  let strip_cases =
+    let seeds = if tiny then [ 11; 12 ] else [ 11; 12; 13; 14; 15; 16 ] in
+    List.map
+      (fun seed ->
+        let cuts = if tiny then 5 else 7 in
+        let inst, _ =
+          Benchmarks.Generate.guillotine ~order_axes:[ 0 ] ~seed
+            ~container:(Geometry.Container.make [| 6; 10 |])
+            ~cuts ~arc_probability:0.4 ()
+        in
+        ( Printf.sprintf "strip2d s%d n%d" seed (Packing.Instance.count inst),
+          inst,
+          1,
+          Geometry.Container.make [| 6; 1 |] ))
+      seeds
+  in
+  (* d=4 feasible-by-construction instances, minimized along the
+     objective axis. *)
+  let d4_cases =
+    let seeds = if tiny then [ 21; 22 ] else [ 21; 22; 23; 24; 25; 26 ] in
+    List.map
+      (fun seed ->
+        let cuts = if tiny then 4 else 6 in
+        let inst, _ =
+          Benchmarks.Generate.guillotine ~seed
+            ~container:(Geometry.Container.make [| 2; 2; 2; 5 |])
+            ~cuts ~arc_probability:0.3 ()
+        in
+        ( Printf.sprintf "hyper4d s%d n%d" seed (Packing.Instance.count inst),
+          inst,
+          3,
+          Geometry.Container.make [| 2; 2; 2; 1 |] ))
+      seeds
+  in
+  Format.printf "  -- d=2 strip with axis-0 order --@.";
+  let strip_rows = List.map solve_one strip_cases in
+  Format.printf "  -- d=4 --@.";
+  let d4_rows = List.map solve_one d4_cases in
+  (* d=3 throughput guard: the axis-generic refactor must not slow the
+     3-dimensional engine. Same instances, budget and baseline table as
+     the engine bench. *)
+  let budget = if tiny then 8_000 else engine_node_budget in
+  Format.printf "  -- d=3 engine throughput guard (budget %d nodes) --@."
+    budget;
+  let options =
+    { search_only with Packing.Opp_solver.node_limit = Some budget }
+  in
+  let engine_rows = ref [] in
+  let ratios = ref [] in
+  List.iter
+    (fun (name, inst, cont) ->
+      let (_, stats), dt =
+        wall (fun () -> Packing.Opp_solver.solve ~options inst cont)
+      in
+      let nodes = stats.Packing.Opp_solver.nodes in
+      let rate = if dt > 0.0 then float_of_int nodes /. dt else 0.0 in
+      let baseline = List.assoc_opt name engine_baseline_nodes_per_s in
+      let ratio =
+        match baseline with
+        | Some b when b > 0.0 ->
+          ratios := (rate /. b) :: !ratios;
+          Some (rate /. b)
+        | _ -> None
+      in
+      Format.printf "  %-24s %9.0f nodes/s  ratio %s@." name rate
+        (match ratio with
+        | Some r -> Printf.sprintf "%.2fx" r
+        | None -> "n/a");
+      engine_rows :=
+        Printf.sprintf
+          "{\"instance\":\"%s\",\"nodes_per_s\":%.1f,\
+           \"baseline_nodes_per_s\":%s,\"ratio\":%s}"
+          name rate
+          (match baseline with
+          | Some b -> Printf.sprintf "%.1f" b
+          | None -> "null")
+          (match ratio with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "null")
+        :: !engine_rows)
+    (engine_cases ());
+  let geomean_ratio =
+    match !ratios with
+    | [] -> None
+    | rs ->
+      let log_sum = List.fold_left (fun a r -> a +. log r) 0.0 rs in
+      Some (exp (log_sum /. float_of_int (List.length rs)))
+  in
+  (match geomean_ratio with
+  | Some g -> Format.printf "  geomean d=3 throughput ratio: %.2fx@." g
+  | None -> Format.printf "  (no baseline: ratio omitted)@.");
+  let oc = open_out "BENCH_ddim.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\"tiny\":%b,\"note\":\"dimension-generic workloads: optima \
+        cross-checked against the geometric enumeration baseline; the d=3 \
+        guard reuses the engine bench's instances and pre-refactor \
+        baseline (acceptance: geomean ratio >= 0.95)\",\
+        \"strip2d\":[\n%s\n],\"d4\":[\n%s\n],\
+        \"engine3d\":{\"node_budget\":%d,\"geomean_ratio\":%s,\"cases\":[\n\
+        %s\n]}}\n"
+       tiny
+       (String.concat ",\n" strip_rows)
+       (String.concat ",\n" d4_rows)
+       budget
+       (match geomean_ratio with
+       | Some g -> Printf.sprintf "%.3f" g
+       | None -> "null")
+       (String.concat ",\n" (List.rev !engine_rows)));
+  close_out oc;
+  Format.printf "  wrote BENCH_ddim.json@."
+
 let run_bechamel () =
   let open Bechamel in
   Format.printf "@.== Bechamel timings (monotonic clock per run) ==@.";
@@ -1532,6 +1729,7 @@ let () =
       ("parallel", parallel_bench);
       ("parallel-calibrate", parallel_calibrate);
       ("engine", engine_bench);
+      ("ddim", ddim_bench);
       ("bounds", bounds_bench);
       ("trace", trace_bench);
       ("service", service_bench);

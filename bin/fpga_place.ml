@@ -21,6 +21,28 @@ let chip_conv =
   let print fmt c = Format.fprintf fmt "%dx%d" (Fpga.Chip.width c) (Fpga.Chip.height c) in
   Arg.conv (parse, print)
 
+(* E0xE1x...xE(d-1): a container extent tuple of any dimension. *)
+let dims_conv =
+  let parse s =
+    let parts = String.split_on_char 'x' (String.lowercase_ascii s) in
+    let ints = List.map int_of_string_opt parts in
+    if parts <> [] && List.for_all (function Some e -> e > 0 | None -> false) ints
+    then Ok (Array.of_list (List.map Option.get ints))
+    else Error (`Msg "expected positive extents, e.g. 8x6x14")
+  in
+  let print fmt a =
+    Format.fprintf fmt "%s"
+      (String.concat "x" (Array.to_list (Array.map string_of_int a)))
+  in
+  Arg.conv (parse, print)
+
+let container_opt =
+  Arg.(value & opt (some dims_conv) None
+       & info [ "container" ] ~docv:"E0x..xE(d-1)"
+           ~doc:"Target container extents, one per instance axis — the \
+                 dimension-generic alternative to --chip/--time. Overrides \
+                 the file's `container` line.")
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.")
 
@@ -51,6 +73,59 @@ let resolve_time io = function
     match io.Fpga.Instance_io.t_max with
     | Some t -> Ok t
     | None -> Error "no time budget: pass --time T or add a `time` line")
+
+(* Resolve the target container for a dimension-generic subcommand:
+   --container, then the file's `container` line, then (3-dimensional
+   instances only) the chip/time surface. *)
+let resolve_container io ~chip ~time container_arg =
+  let inst = io.Fpga.Instance_io.instance in
+  let d = Packing.Instance.dim inst in
+  let of_extents exts =
+    if Array.length exts <> d then
+      Error
+        (Printf.sprintf "container has %d extents but the instance is %d-dimensional"
+           (Array.length exts) d)
+    else
+      try Ok (`Container (Geometry.Container.make exts))
+      with Invalid_argument m -> Error m
+  in
+  match container_arg with
+  | Some exts -> of_extents exts
+  | None -> (
+    match io.Fpga.Instance_io.container with
+    | Some c ->
+      if Geometry.Container.dim c <> d then
+        Error "the file's container dimension does not match its tasks"
+      else Ok (`Container c)
+    | None ->
+      if d = 3 then
+        match (resolve_chip io chip, resolve_time io time) with
+        | Error m, _ | _, Error m -> Error m
+        | Ok chip, Ok t_max -> Ok (`Chip (chip, t_max))
+      else
+        Error
+          "no container: pass --container E0x..xE(d-1) or add a `container` \
+           line to the file")
+
+(* Label + origin tuple per task, for instances outside the 3-dimensional
+   chip surface (no Gantt/occupancy rendering there). *)
+let show_placement_ddim ~quiet inst placement =
+  if not quiet then begin
+    Format.printf "placement:@.";
+    for i = 0 to Packing.Instance.count inst - 1 do
+      let o = Geometry.Placement.origin placement i in
+      Format.printf "  %-8s at (%s)@."
+        (Packing.Instance.label inst i)
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int o)))
+    done
+  end
+
+let pp_container fmt c =
+  Format.fprintf fmt "%s"
+    (String.concat "x"
+       (List.init (Geometry.Container.dim c) (fun k ->
+            string_of_int (Geometry.Container.extent c k))))
 
 let show_placement ~quiet ~render inst chip t_max placement =
   if not quiet then begin
@@ -235,16 +310,20 @@ let no_heuristic_flag =
                  search events on instances the heuristic would settle).")
 
 let solve_cmd =
-  let run file chip time render quiet svg jobs time_limit stats realize
-      node_bounds trace_file progress no_heuristic =
+  let run file chip time container_arg render quiet svg jobs time_limit stats
+      realize node_bounds trace_file progress no_heuristic =
     match read_instance file with
     | Error msg -> err msg
     | Ok io -> (
-      match (resolve_chip io chip, resolve_time io time) with
-      | Error msg, _ | _, Error msg -> err msg
-      | Ok chip, Ok t_max -> (
+      match resolve_container io ~chip ~time container_arg with
+      | Error msg -> err msg
+      | Ok target -> (
         let inst = io.Fpga.Instance_io.instance in
-        let container = Fpga.Chip.container chip ~t_max in
+        let container =
+          match target with
+          | `Chip (chip, t_max) -> Fpga.Chip.container chip ~t_max
+          | `Container c -> c
+        in
         let options = options_with_deadline time_limit realize node_bounds in
         let options =
           if no_heuristic then
@@ -258,10 +337,15 @@ let solve_cmd =
           write_trace ();
           match outcome with
           | Packing.Opp_solver.Feasible p ->
-            Format.printf "feasible on %a within %d cycles (%t)@." Fpga.Chip.pp
-              chip t_max pp_report;
-            show_placement ~quiet ~render inst chip t_max p;
-            write_svg inst chip t_max p svg;
+            (match target with
+            | `Chip (chip, t_max) ->
+              Format.printf "feasible on %a within %d cycles (%t)@."
+                Fpga.Chip.pp chip t_max pp_report;
+              show_placement ~quiet ~render inst chip t_max p;
+              write_svg inst chip t_max p svg
+            | `Container c ->
+              Format.printf "feasible in %a (%t)@." pp_container c pp_report;
+              show_placement_ddim ~quiet inst p);
             0
           | Packing.Opp_solver.Infeasible ->
             Format.printf "infeasible (%t)@." pp_report;
@@ -292,7 +376,8 @@ let solve_cmd =
   in
   let doc = "Decide feasibility of a placement (FeasAT&FindS)." in
   Cmd.v (Cmd.info "solve" ~doc)
-    Term.(const run $ file_arg $ chip_opt $ time_opt $ render_flag $ quiet_flag
+    Term.(const run $ file_arg $ chip_opt $ time_opt $ container_opt
+          $ render_flag $ quiet_flag
           $ svg_opt $ jobs_opt $ time_limit_opt $ stats_opt $ realize_opt
           $ node_bounds_opt $ trace_opt $ progress_opt $ no_heuristic_flag)
 
@@ -394,6 +479,92 @@ let min_time_cmd =
           $ time_limit_opt $ stats_opt $ realize_opt $ node_bounds_opt
           $ trace_opt $ progress_opt)
 
+let min_extent_cmd =
+  let axis_opt =
+    Arg.(value & opt (some int) None
+         & info [ "axis" ] ~docv:"K"
+             ~doc:"Axis whose extent to minimize (default: the instance's \
+                   objective axis). With a 2-dimensional instance and axis 1 \
+                   this is open-ended strip packing.")
+  in
+  let run file chip time container_arg axis quiet jobs time_limit stats
+      realize node_bounds trace_file progress =
+    match read_instance file with
+    | Error msg -> err msg
+    | Ok io -> (
+      let inst = io.Fpga.Instance_io.instance in
+      let d = Packing.Instance.dim inst in
+      let axis =
+        match axis with
+        | None -> Packing.Instance.objective_axis inst
+        | Some k -> k
+      in
+      if axis < 0 || axis >= d then
+        err (Printf.sprintf "axis %d out of range for a %d-dimensional instance" axis d)
+      else
+        (* The base's extent along the minimized axis is ignored, so the
+           3-dimensional chip surface needs no time budget when the time
+           axis itself is being minimized. *)
+        let time =
+          if time = None && d = 3 && axis = 2 then Some 1 else time
+        in
+        match resolve_container io ~chip ~time container_arg with
+        | Error msg -> err msg
+        | Ok target ->
+          let base =
+            match target with
+            | `Chip (chip, t_max) -> Fpga.Chip.container chip ~t_max
+            | `Container c -> c
+          in
+          let options = options_with_deadline time_limit realize node_bounds in
+          let options, write_trace =
+            with_observability options trace_file progress
+          in
+          let probes, on_probe = probe_collector () in
+          let result =
+            Packing.Problems.minimize_extent ~options ~jobs ~on_probe inst
+              ~axis ~base
+          in
+          write_trace ();
+          (match stats with
+          | Some `Json ->
+            Format.printf "%s@."
+              (anytime_stats_json ~problem:"min-extent"
+                 ~value_json:(fun v -> Packing.Telemetry.Int v)
+                 result (probes ()))
+          | None -> ());
+          (match result with
+          | Packing.Problems.Optimal { value; placement } ->
+            Format.printf "minimal extent along axis %d: %d@." axis value;
+            show_placement_ddim ~quiet inst placement;
+            0
+          | Packing.Problems.Feasible_incumbent
+              { incumbent = { value; placement }; lower_bound; gap } ->
+            Format.printf
+              "budget exhausted: best extent found along axis %d: %d (proven \
+               lower bound %d, gap %d)@."
+              axis value lower_bound gap;
+            show_placement_ddim ~quiet inst placement;
+            3
+          | Packing.Problems.Infeasible ->
+            Format.printf
+              "no extent works: a task overflows the base cross-section@.";
+            2
+          | Packing.Problems.Unknown { lower_bound } ->
+            Format.printf
+              "budget exhausted before any placement was found (extent >= %d)@."
+              lower_bound;
+            3))
+  in
+  let doc =
+    "Minimize the container extent along one axis (dimension-generic \
+     MinT&FindS; strip packing when the instance is 2-dimensional)."
+  in
+  Cmd.v (Cmd.info "min-extent" ~doc)
+    Term.(const run $ file_arg $ chip_opt $ time_opt $ container_opt $ axis_opt
+          $ quiet_flag $ jobs_opt $ time_limit_opt $ stats_opt $ realize_opt
+          $ node_bounds_opt $ trace_opt $ progress_opt)
+
 let min_area_cmd =
   let run file time render quiet jobs time_limit stats realize node_bounds
       trace_file progress =
@@ -464,8 +635,22 @@ let pareto_cmd =
          & info [ "no-precedence" ]
              ~doc:"Drop the precedence constraints (dashed curve of Fig. 7).")
   in
-  let run file h_min h_max no_prec quiet jobs time_limit stats trace_file
-      progress =
+  let sweep_axis_opt =
+    Arg.(value & opt (some int) None
+         & info [ "sweep-axis" ] ~docv:"K"
+             ~doc:"Sweep the extent of axis $(docv) between --h-min and \
+                   --h-max instead of the quadratic chip side; requires \
+                   --min-axis and a base container (--container or a \
+                   `container` line).")
+  in
+  let min_axis_opt =
+    Arg.(value & opt (some int) None
+         & info [ "min-axis" ] ~docv:"K"
+             ~doc:"Axis whose extent to minimize at each sweep step (with \
+                   --sweep-axis).")
+  in
+  let run file h_min h_max no_prec sweep_axis min_axis container_arg quiet
+      jobs time_limit stats trace_file progress =
     match read_instance file with
     | Error msg -> err msg
     | Ok io ->
@@ -476,10 +661,38 @@ let pareto_cmd =
       let options = options_with_deadline time_limit `Adaptive `Adaptive in
       let options, write_trace = with_observability options trace_file progress in
       let probes, on_probe = probe_collector () in
-      let { Packing.Problems.points; complete } =
-        Packing.Problems.pareto_front ~options ~jobs ~on_probe inst ~h_min
-          ~h_max
+      let front =
+        match (sweep_axis, min_axis) with
+        | None, None ->
+          Ok
+            (Packing.Problems.pareto_front ~options ~jobs ~on_probe inst ~h_min
+               ~h_max)
+        | Some sweep, Some minimize -> (
+          let d = Packing.Instance.dim inst in
+          if sweep < 0 || sweep >= d || minimize < 0 || minimize >= d then
+            Error
+              (Printf.sprintf
+                 "axes must lie in 0..%d for this instance" (d - 1))
+          else if sweep = minimize then
+            Error "--sweep-axis and --min-axis must differ"
+          else
+          match resolve_container io ~chip:None ~time:None container_arg with
+          | Error msg -> Error msg
+          | Ok (`Chip (chip, t_max)) ->
+            (* 3-dimensional fallback: the chip surface still names a base. *)
+            Ok
+              (Packing.Problems.pareto_front_axes ~options ~jobs ~on_probe inst
+                 ~sweep ~minimize ~lo:h_min ~hi:h_max
+                 ~base:(Fpga.Chip.container chip ~t_max))
+          | Ok (`Container base) ->
+            Ok
+              (Packing.Problems.pareto_front_axes ~options ~jobs ~on_probe inst
+                 ~sweep ~minimize ~lo:h_min ~hi:h_max ~base))
+        | _ -> Error "--sweep-axis and --min-axis must be given together"
       in
+      match front with
+      | Error msg -> err msg
+      | Ok { Packing.Problems.points; complete } ->
       write_trace ();
       (match stats with
       | Some `Json ->
@@ -499,8 +712,15 @@ let pareto_cmd =
                     List (List.map Packing.Problems.probe_json (probes ())) );
                 ]))
       | None -> ());
-      if not quiet then Format.printf "chip  makespan@.";
-      List.iter (fun (h, t) -> Format.printf "%dx%d  %d@." h h t) points;
+      (match sweep_axis with
+      | None ->
+        if not quiet then Format.printf "chip  makespan@.";
+        List.iter (fun (h, t) -> Format.printf "%dx%d  %d@." h h t) points
+      | Some sweep ->
+        let minimize = Option.value min_axis ~default:(-1) in
+        if not quiet then
+          Format.printf "axis%d  axis%d@." sweep minimize;
+        List.iter (fun (s, e) -> Format.printf "%d  %d@." s e) points);
       if complete then 0
       else begin
         Format.printf
@@ -510,7 +730,8 @@ let pareto_cmd =
   in
   let doc = "Compute the chip-size/makespan Pareto front (paper Fig. 7)." in
   Cmd.v (Cmd.info "pareto" ~doc)
-    Term.(const run $ file_arg $ h_min_arg $ h_max_arg $ no_prec $ quiet_flag
+    Term.(const run $ file_arg $ h_min_arg $ h_max_arg $ no_prec
+          $ sweep_axis_opt $ min_axis_opt $ container_opt $ quiet_flag
           $ jobs_opt $ time_limit_opt $ stats_opt $ trace_opt $ progress_opt)
 
 let simulate_cmd =
@@ -878,29 +1099,42 @@ let serve_cmd =
 
 let export_cmd =
   let which =
-    Arg.(required & pos 0 (some (enum [ ("de", `De); ("codec", `Codec) ])) None
-         & info [] ~docv:"NAME" ~doc:"Benchmark name: de or codec.")
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"NAME"
+             ~doc:
+               "Benchmark name ($(b,de) or $(b,codec)), or a path to an \
+                instance file to parse and re-print (round-trip check: v1 \
+                files re-print byte-identically).")
   in
   let run which =
-    let io =
+    match
       match which with
-      | `De ->
-        {
-          Fpga.Instance_io.instance = Benchmarks.De.instance;
-          chip = Some (Fpga.Chip.square 32);
-          t_max = Some 14;
-        }
-      | `Codec ->
-        {
-          Fpga.Instance_io.instance = Benchmarks.Video_codec.instance;
-          chip = Some (Fpga.Chip.square 64);
-          t_max = Some 59;
-        }
-    in
-    print_string (Fpga.Instance_io.print io);
-    0
+      | "de" ->
+        Ok
+          {
+            Fpga.Instance_io.instance = Benchmarks.De.instance;
+            chip = Some (Fpga.Chip.square 32);
+            t_max = Some 14;
+            container = None;
+          }
+      | "codec" ->
+        Ok
+          {
+            Fpga.Instance_io.instance = Benchmarks.Video_codec.instance;
+            chip = Some (Fpga.Chip.square 64);
+            t_max = Some 59;
+            container = None;
+          }
+      | file -> read_instance file
+    with
+    | Ok io ->
+      print_string (Fpga.Instance_io.print io);
+      0
+    | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
   in
-  let doc = "Print a built-in benchmark in the instance format." in
+  let doc = "Print a built-in benchmark or an instance file." in
   Cmd.v (Cmd.info "export" ~doc) Term.(const run $ which)
 
 let online_cmd =
@@ -1138,6 +1372,7 @@ let () =
             solve_cmd;
             check_cmd;
             min_time_cmd;
+            min_extent_cmd;
             min_area_cmd;
             pareto_cmd;
             simulate_cmd;

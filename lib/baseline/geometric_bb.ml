@@ -36,7 +36,8 @@ exception Limit
 let solve ?node_limit ?(use_bounds = false) inst cont =
   let n = Packing.Instance.count inst in
   let d = Packing.Instance.dim inst in
-  if d <> 3 then invalid_arg "Geometric_bb.solve: expects 3 dimensions";
+  if Container.dim cont <> d then
+    invalid_arg "Geometric_bb.solve: container dimension mismatch";
   let nodes = ref 0 and positions = ref 0 in
   if
     (* Optional stage-1 pre-check through the shared engine. Off by
@@ -50,10 +51,13 @@ let solve ?node_limit ?(use_bounds = false) inst cont =
       false
   then (Infeasible, { nodes = 0; positions_tried = 0 })
   else begin
+  let orders = Packing.Instance.orders inst in
   let p = Packing.Instance.precedence inst in
   let order =
-    (* Topological order of the precedence DAG; incomparable tasks by
-       decreasing volume (harder first). *)
+    (* Topological order of the objective-axis precedence DAG;
+       incomparable tasks by decreasing volume (harder first). Other
+       axes' orders prune through the per-axis earliest offsets and the
+       leaf validation. *)
     let base = List.init n Fun.id in
     let vol i = Box.volume (Packing.Instance.box inst i) in
     let cmp a b =
@@ -66,18 +70,18 @@ let solve ?node_limit ?(use_bounds = false) inst cont =
   let positions_for axis =
     normal_positions inst ~axis ~cap:(Container.extent cont axis)
   in
-  let xs = positions_for 0 and ys = positions_for 1 and ts = positions_for 2 in
+  let axis_positions = Array.init d positions_for in
   let placed_origin = Array.make n [||] in
   let placed = Array.make n false in
-  let overlaps i (x, y, t) j =
+  let overlaps i coord j =
     let o = placed_origin.(j) in
     let e k task = Packing.Instance.extent inst task k in
-    x < o.(0) + e 0 j
-    && o.(0) < x + e 0 i
-    && y < o.(1) + e 1 j
-    && o.(1) < y + e 1 i
-    && t < o.(2) + e 2 j
-    && o.(2) < t + e 2 i
+    let all = ref true in
+    for k = 0 to d - 1 do
+      if not (coord.(k) < o.(k) + e k j && o.(k) < coord.(k) + e k i) then
+        all := false
+    done;
+    !all
   in
   let check_limit () =
     match node_limit with
@@ -89,50 +93,52 @@ let solve ?node_limit ?(use_bounds = false) inst cont =
       let placement =
         Placement.make (Packing.Instance.boxes inst) (Array.copy placed_origin)
       in
-      if
-        Placement.is_feasible placement ~container:cont
-          ~precedes:(Packing.Instance.precedes inst)
+      if Packing.Instance.placement_feasible inst ~container:cont placement
       then raise (Done placement)
     | i :: rest ->
       incr nodes;
       check_limit ();
-      let earliest =
-        List.fold_left
-          (fun acc j ->
-            if placed.(j) && PO.precedes p j i then
-              max acc (placed_origin.(j).(2) + Packing.Instance.duration inst j)
-            else acc)
-          0 (List.init n Fun.id)
+      (* Per-axis earliest anchor: a placed predecessor in axis [k]'s
+         order must finish along [k] before task [i] starts there. *)
+      let earliest = Array.make d 0 in
+      Array.iteri
+        (fun k ord ->
+          for j = 0 to n - 1 do
+            if placed.(j) && PO.precedes ord j i then
+              earliest.(k) <-
+                max earliest.(k)
+                  (placed_origin.(j).(k) + Packing.Instance.extent inst j k)
+          done)
+        orders;
+      let coord = Array.make d 0 in
+      (* Enumerate anchors axis-major from the last axis down, so the
+         3-dimensional case walks (t, y, x) exactly as before. *)
+      let rec enum k =
+        if k < 0 then begin
+          incr positions;
+          if !positions land 0xfff = 0 then check_limit ();
+          let free = ref true in
+          for j = 0 to n - 1 do
+            if placed.(j) && overlaps i coord j then free := false
+          done;
+          if !free then begin
+            placed_origin.(i) <- Array.copy coord;
+            placed.(i) <- true;
+            go rest;
+            placed.(i) <- false
+          end
+        end
+        else
+          let e = Packing.Instance.extent inst i k in
+          List.iter
+            (fun c ->
+              if c >= earliest.(k) && c + e <= Container.extent cont k then begin
+                coord.(k) <- c;
+                enum (k - 1)
+              end)
+            axis_positions.(k)
       in
-      let w = Packing.Instance.extent inst i 0
-      and h = Packing.Instance.extent inst i 1
-      and dur = Packing.Instance.duration inst i in
-      List.iter
-        (fun t ->
-          if t >= earliest && t + dur <= Container.extent cont 2 then
-            List.iter
-              (fun y ->
-                if y + h <= Container.extent cont 1 then
-                  List.iter
-                    (fun x ->
-                      if x + w <= Container.extent cont 0 then begin
-                        incr positions;
-                        if !positions land 0xfff = 0 then check_limit ();
-                        let free = ref true in
-                        for j = 0 to n - 1 do
-                          if placed.(j) && overlaps i (x, y, t) j then
-                            free := false
-                        done;
-                        if !free then begin
-                          placed_origin.(i) <- [| x; y; t |];
-                          placed.(i) <- true;
-                          go rest;
-                          placed.(i) <- false
-                        end
-                      end)
-                    xs)
-              ys)
-        ts
+      enum (d - 1)
   in
   let finish outcome = (outcome, { nodes = !nodes; positions_tried = !positions }) in
   try

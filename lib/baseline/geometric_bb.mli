@@ -7,10 +7,17 @@
     along every axis, a coordinate that is a sum of a subset of the
     other boxes' extents (the classical normalization argument — any
     feasible packing can be pushed axis-wise down until every box rests
-    against the container wall or another box, so searching normal
-    positions only is exhaustive). Placement order follows a
-    topological order of the precedence DAG so that partial placements
-    can be pruned by precedence violations early.
+    against the container wall or another box — pushing stops at box
+    ends, which are subset sums too, so the argument survives per-axis
+    order constraints; searching normal positions only is exhaustive).
+    The solver works in any dimension and honours every per-axis order
+    of the instance: placement order follows a topological order of the
+    objective-axis precedence DAG, each task's anchor is floored along
+    every axis by its already-placed predecessors in that axis's order,
+    and leaves are validated with
+    {!Packing.Instance.placement_feasible}. This makes it the reference
+    oracle for differential tests of the packing-class search on
+    [d <> 3] and spatially-ordered instances.
 
     This solver is {e exact} but exponentially slower than the
     packing-class search — which is precisely what the ablation

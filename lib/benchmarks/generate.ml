@@ -1,17 +1,35 @@
 module Box = Geometry.Box
 module Container = Geometry.Container
 
-let random ~seed ~n ~max_extent ~max_duration ~arc_probability () =
+let random ?(dim = 3) ~seed ~n ~max_extent ~max_duration ~arc_probability () =
   if n <= 0 then invalid_arg "Generate.random: n <= 0";
+  if dim < 1 then invalid_arg "Generate.random: dim < 1";
   if max_extent <= 0 || max_duration <= 0 then
     invalid_arg "Generate.random: non-positive extents";
   let rng = Random.State.make [| seed |] in
   let boxes =
-    Array.init n (fun _ ->
-        Box.make3
-          ~w:(1 + Random.State.int rng max_extent)
-          ~h:(1 + Random.State.int rng max_extent)
-          ~duration:(1 + Random.State.int rng max_duration))
+    (* The 3-dimensional path keeps its historical RNG draw order so
+       seeded instances stay byte-identical across versions. *)
+    if dim = 3 then
+      Array.init n (fun _ ->
+          Box.make3
+            ~w:(1 + Random.State.int rng max_extent)
+            ~h:(1 + Random.State.int rng max_extent)
+            ~duration:(1 + Random.State.int rng max_duration))
+    else begin
+      let bs = Array.make n (Box.make (Array.make dim 1)) in
+      for i = 0 to n - 1 do
+        let exts =
+          Array.make dim 0
+        in
+        for k = 0 to dim - 2 do
+          exts.(k) <- 1 + Random.State.int rng max_extent
+        done;
+        exts.(dim - 1) <- 1 + Random.State.int rng max_duration;
+        bs.(i) <- Box.make exts
+      done;
+      bs
+    end
   in
   let precedence = ref [] in
   for i = 0 to n - 1 do
@@ -85,9 +103,20 @@ type piece = {
   size : int array;
 }
 
-let guillotine ~seed ~container ~cuts ~arc_probability () =
+let guillotine ?order_axes ~seed ~container ~cuts ~arc_probability () =
   if cuts < 0 then invalid_arg "Generate.guillotine: negative cuts";
   let d = Container.dim container in
+  let order_axes =
+    match order_axes with
+    | None -> [ d - 1 ]
+    | Some axes ->
+      List.iter
+        (fun k ->
+          if k < 0 || k >= d then
+            invalid_arg "Generate.guillotine: order axis out of range")
+        axes;
+      axes
+  in
   let rng = Random.State.make [| seed |] in
   let pieces =
     ref [ { origin = Array.make d 0; size = Container.extents container } ]
@@ -117,27 +146,34 @@ let guillotine ~seed ~container ~cuts ~arc_probability () =
   let pieces = Array.of_list (List.rev !pieces) in
   let n = Array.length pieces in
   let boxes = Array.map (fun p -> Box.make p.size) pieces in
-  let time = d - 1 in
-  let finish p = p.origin.(time) + p.size.(time) in
-  let precedence = ref [] in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      if
-        i <> j
-        && finish pieces.(i) <= pieces.(j).origin.(time)
-        && Random.State.float rng 1.0 < arc_probability
-      then precedence := (i, j) :: !precedence
-    done
-  done;
+  (* Arcs only between pieces whose intervals along the arc's axis are
+     disjoint and ordered, so the tiling itself satisfies every order.
+     The axis list is walked in the caller's order (the RNG stream with
+     the default [d - 1] matches the historical time-axis-only one). *)
+  let orders =
+    List.map
+      (fun axis ->
+        let finish p = p.origin.(axis) + p.size.(axis) in
+        let arcs = ref [] in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if
+              i <> j
+              && finish pieces.(i) <= pieces.(j).origin.(axis)
+              && Random.State.float rng 1.0 < arc_probability
+            then arcs := (i, j) :: !arcs
+          done
+        done;
+        (axis, !arcs))
+      order_axes
+  in
   let inst =
     Packing.Instance.make
       ~name:(Printf.sprintf "guillotine-%d" seed)
-      ~precedence:!precedence ~boxes ()
+      ~orders ~boxes ()
   in
   let placement =
     Geometry.Placement.make boxes (Array.map (fun p -> p.origin) pieces)
   in
-  assert (
-    Geometry.Placement.is_feasible placement ~container
-      ~precedes:(Packing.Instance.precedes inst));
+  assert (Packing.Instance.placement_feasible inst ~container placement);
   (inst, placement)

@@ -10,11 +10,15 @@
 
     All generators are deterministic in [seed]. *)
 
-(** [random ~seed ~n ~max_extent ~max_duration ~arc_probability ()]
-    generates [n] boxes with spatial extents in [1 .. max_extent],
-    durations in [1 .. max_duration], and each forward pair [(i, j)],
-    [i < j], made a precedence arc with the given probability. *)
+(** [random ?dim ~seed ~n ~max_extent ~max_duration ~arc_probability ()]
+    generates [n] boxes of dimension [dim] (default 3) with extents in
+    [1 .. max_extent] on every axis but the last, last-axis extents
+    (durations) in [1 .. max_duration], and each forward pair [(i, j)],
+    [i < j], made a precedence arc with the given probability. The
+    3-dimensional instances are byte-identical to those of earlier
+    versions for the same seed. *)
 val random :
+  ?dim:int ->
   seed:int ->
   n:int ->
   max_extent:int ->
@@ -44,13 +48,17 @@ val arrival_stream :
   unit ->
   Fpga.Online.task array
 
-(** [guillotine ~seed ~container ~cuts ~arc_probability ()] recursively
-    splits [container] by axis-orthogonal cuts into [cuts + 1] boxes
-    that tile it exactly, then adds precedence arcs only between pieces
-    whose time intervals are disjoint and ordered (so the original tiling
-    remains a feasible placement). Returns the instance and the
-    witnessing placement. *)
+(** [guillotine ?order_axes ~seed ~container ~cuts ~arc_probability ()]
+    recursively splits [container] (of any dimension) by axis-orthogonal
+    cuts into [cuts + 1] boxes that tile it exactly, then — for each
+    axis in [order_axes] (default [[d - 1]], the time axis) — adds
+    order arcs only between pieces whose intervals along that axis are
+    disjoint and ordered, so the original tiling remains a feasible
+    placement under every per-axis order. Returns the instance and the
+    witnessing placement. The default is byte-identical to the
+    historical time-axis-only generator for the same seed. *)
 val guillotine :
+  ?order_axes:int list ->
   seed:int ->
   container:Geometry.Container.t ->
   cuts:int ->

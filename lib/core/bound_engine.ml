@@ -55,15 +55,17 @@ let critical_path_exceeded inst container =
    placement. A clique of pairwise exclusion must serialize in time. *)
 let exclusion_duration inst container =
   let n = Instance.count inst in
-  let ta = Instance.time_axis inst in
+  let d = Instance.dim inst in
+  let ta = Instance.objective_axis inst in
   let g = Graphlib.Undirected.create n in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
       let excl = ref true in
-      for k = 0 to ta - 1 do
+      for k = 0 to d - 1 do
         if
-          Instance.extent inst i k + Instance.extent inst j k
-          <= Container.extent container k
+          k <> ta
+          && Instance.extent inst i k + Instance.extent inst j k
+             <= Container.extent container k
         then excl := false
       done;
       if !excl then Graphlib.Undirected.add_edge g i j
@@ -182,24 +184,27 @@ let dff_volume_exceeded inst container =
 (* Shared helpers for the registered bounds                            *)
 (* ------------------------------------------------------------------ *)
 
+(* "Time" below means the objective axis of the instance: the bounds
+   bound the container extent needed along it, whatever its position.
+   The remaining axes play the spatial role. *)
 let time_cap inst container =
-  Container.extent container (Instance.time_axis inst)
+  Container.extent container (Instance.objective_axis inst)
 
 (* Product of the container's spatial extents: the chip area available
    in every time slice (1 for purely temporal, d = 1 instances). *)
 let base_area inst container =
-  let ta = Instance.time_axis inst in
+  let ta = Instance.objective_axis inst in
   let a = ref 1 in
-  for k = 0 to ta - 1 do
-    a := !a * Container.extent container k
+  for k = 0 to Instance.dim inst - 1 do
+    if k <> ta then a := !a * Container.extent container k
   done;
   !a
 
 let footprint inst i =
-  let ta = Instance.time_axis inst in
+  let ta = Instance.objective_axis inst in
   let a = ref 1 in
-  for k = 0 to ta - 1 do
-    a := !a * Instance.extent inst i k
+  for k = 0 to Instance.dim inst - 1 do
+    if k <> ta then a := !a * Instance.extent inst i k
   done;
   !a
 
@@ -255,11 +260,31 @@ let run_volume inst container ~seq:_ =
       ~detail:"volume per time slice exceeds the chip area" inst container lb
 
 let run_critical_path inst container ~seq =
-  if not (Digraph.is_acyclic seq) then Inconclusive
-  else
-    let lb = Digraph.critical_path seq ~weight:(Instance.duration inst) in
-    time_bound_verdict ~name:"critical-path"
-      ~detail:"an oriented chain exceeds the time bound" inst container lb
+  (* Static per-axis chains first: any non-objective axis carrying an
+     order needs its heaviest chain to fit that axis's extent. (Empty
+     orders — every legacy 3D instance — skip this in O(1) per axis.) *)
+  let axis_overflow =
+    List.find_opt
+      (fun k ->
+        k <> Instance.objective_axis inst
+        && Instance.critical_path_axis inst k > Container.extent container k)
+      (Instance.ordered_axes inst)
+  in
+  match axis_overflow with
+  | Some k ->
+    Infeasible
+      {
+        bound = "critical-path";
+        detail =
+          Printf.sprintf "an ordered chain exceeds the container along axis %d"
+            k;
+      }
+  | None ->
+    if not (Digraph.is_acyclic seq) then Inconclusive
+    else
+      let lb = Digraph.critical_path seq ~weight:(Instance.duration inst) in
+      time_bound_verdict ~name:"critical-path"
+        ~detail:"an oriented chain exceeds the time bound" inst container lb
 
 (* Serialization clique along the time axis: two tasks must be disjoint
    in time when they overflow the container in every spatial axis, and
@@ -269,15 +294,17 @@ let run_critical_path inst container ~seq =
    the legacy exclusion clique and the critical path. *)
 let run_clique_time inst container ~seq =
   let n = Instance.count inst in
-  let ta = Instance.time_axis inst in
+  let d = Instance.dim inst in
+  let ta = Instance.objective_axis inst in
   let g = Graphlib.Undirected.create n in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
       let excl = ref true in
-      for k = 0 to ta - 1 do
+      for k = 0 to d - 1 do
         if
-          Instance.extent inst i k + Instance.extent inst j k
-          <= Container.extent container k
+          k <> ta
+          && Instance.extent inst i k + Instance.extent inst j k
+             <= Container.extent container k
         then excl := false
       done;
       if !excl || Digraph.mem_arc seq i j || Digraph.mem_arc seq j i then
@@ -297,11 +324,13 @@ let run_clique_time inst container ~seq =
 let run_clique_space inst container ~seq:_ =
   let n = Instance.count inst in
   let d = Instance.dim inst in
-  let ta = Instance.time_axis inst in
+  let ta = Instance.objective_axis inst in
   let result = ref Inconclusive in
   let axis = ref 0 in
-  while !result = Inconclusive && !axis < ta do
+  while !result = Inconclusive && !axis < d do
     let k = !axis in
+    if k = ta then incr axis
+    else begin
     let g = Graphlib.Undirected.create n in
     for i = 0 to n - 1 do
       for j = i + 1 to n - 1 do
@@ -330,6 +359,7 @@ let run_clique_space inst container ~seq:_ =
                 "a serialization clique exceeds the container along axis %d" k;
           };
     incr axis
+    end
   done;
   !result
 
@@ -342,24 +372,31 @@ let run_dff_volume inst container ~seq:_ =
    Products of per-axis DFFs preserve packability, so every transformed
    packing still needs ceil(sum_i area'_i * d_i / base') time slices. *)
 let run_dff_time inst container ~seq:_ =
-  let ta = Instance.time_axis inst in
+  let ta = Instance.objective_axis inst in
   let n = Instance.count inst in
-  if ta = 0 then Inconclusive
+  let spatial =
+    Array.of_list
+      (List.filter (fun k -> k <> ta) (List.init (Instance.dim inst) Fun.id))
+  in
+  let ns = Array.length spatial in
+  if ns = 0 then Inconclusive
   else begin
-    let per_axis = Array.init ta (fun k -> axis_transforms inst container k) in
-    let choice = Array.make ta (List.hd per_axis.(0)) in
+    let per_axis =
+      Array.map (fun k -> axis_transforms inst container k) spatial
+    in
+    let choice = Array.make ns (List.hd per_axis.(0)) in
     let best = ref 0 in
     let rec enumerate k =
-      if k = ta then begin
+      if k = ns then begin
         let base = ref 1 in
-        for m = 0 to ta - 1 do
+        for m = 0 to ns - 1 do
           base := !base * choice.(m).target
         done;
         let total = ref 0 in
         for i = 0 to n - 1 do
           let a = ref (Instance.duration inst i) in
-          for m = 0 to ta - 1 do
-            a := !a * choice.(m).apply (Instance.extent inst i m)
+          for m = 0 to ns - 1 do
+            a := !a * choice.(m).apply (Instance.extent inst i spatial.(m))
           done;
           total := !total + !a
         done;

@@ -137,8 +137,20 @@ let schedule inst container ~t_limit =
     Some (Placement.make (Instance.boxes inst) origins)
   end
 
+(* The list scheduler understands exactly the classic FPGA shape:
+   3-dimensional boxes, time on the last axis, and no order constraints
+   on the spatial axes (it picks x/y positions freely, so a spatial
+   order could be silently violated — the final validation would catch
+   it, but the capability check keeps the solvers from even trying). *)
+let supports inst =
+  Instance.dim inst = 3
+  && Instance.objective_axis inst = 2
+  && List.for_all
+       (fun k -> k = 2)
+       (Instance.ordered_axes inst)
+
 let pack inst container =
-  if Instance.dim inst <> 3 || Container.dim container <> 3 then
+  if not (supports inst) || Container.dim container <> 3 then
     invalid_arg "Heuristic.pack: expects 3-dimensional space-time instances";
   let t_limit = Container.extent container 2 in
   match schedule inst container ~t_limit with
@@ -151,7 +163,7 @@ let pack inst container =
     else None
 
 let makespan inst ~base =
-  if Instance.dim inst <> 3 then
+  if not (supports inst) then
     invalid_arg "Heuristic.makespan: expects 3-dimensional instances";
   let horizon = max 1 (Instance.total_duration inst) in
   let container =

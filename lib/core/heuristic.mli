@@ -9,8 +9,18 @@
     finish event. The result is validated geometrically before being
     returned, so a [Some] answer is always a feasible packing. *)
 
+(** [supports instance] says whether the list scheduler applies:
+    3-dimensional boxes with the objective on the last axis and no
+    order constraints on the spatial axes. The solvers route their
+    stage-2 attempt through this check and degrade cleanly when it
+    fails — higher-dimensional, strip-packing, or spatially-ordered
+    instances simply skip the construction stage and go straight to the
+    branch-and-bound search (stage 3), whose verdict is unaffected. *)
+val supports : Instance.t -> bool
+
 (** [pack instance container] attempts to build a feasible placement
-    inside [container]. *)
+    inside [container].
+    @raise Invalid_argument when [supports instance] is [false]. *)
 val pack : Instance.t -> Geometry.Container.t -> Geometry.Placement.t option
 
 (** [makespan instance ~base] runs the scheduler on an unbounded time

@@ -408,8 +408,8 @@ let solve ?(options = default_options) ?schedule inst cont =
        schedule disables this stage: the heuristic would pick its own
        start times, which is not the question being asked. *)
     let heuristic_hit =
-      if options.use_heuristic && schedule = None && Instance.dim inst = 3 then
-        staged "stage2-heuristic" (fun () -> Heuristic.pack inst cont)
+      if options.use_heuristic && schedule = None && Heuristic.supports inst
+      then staged "stage2-heuristic" (fun () -> Heuristic.pack inst cont)
       else None
     in
     match heuristic_hit with

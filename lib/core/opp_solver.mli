@@ -101,7 +101,13 @@ val default_realize : realize_policy
 type options = {
   rules : Packing_state.rules; (** propagation toggles (ablations) *)
   use_bounds : bool; (** stage 1 *)
-  use_heuristic : bool; (** stage 2 *)
+  use_heuristic : bool;
+      (** stage 2. The construction heuristic only runs when
+          {!Heuristic.supports} accepts the instance (3-dimensional,
+          objective on the last axis, no spatial orders); anything else
+          — strip packing, [d <> 3], per-axis order constraints — skips
+          straight to the stage-3 search, whose verdict is exact either
+          way. *)
   node_limit : int option; (** give up after this many nodes *)
   deadline : float option;
       (** absolute wall-clock deadline ([Unix.gettimeofday] scale);

@@ -67,31 +67,42 @@ type t = {
 }
 
 (* Tasks u < v are interchangeable when their boxes are equal and they
-   relate identically (and not at all to each other) in the precedence
-   order. Sorting any feasible placement's copies of an identical box by
-   start time orients every time-comparable symmetric pair low -> high,
-   so forcing that orientation in the time dimension is sound — and
-   collapses the k! equivalent schedules of k identical tasks. *)
+   relate identically (and not at all to each other) in every axis's
+   order. Swapping such a pair is then an automorphism of the whole
+   constraint system, so sorting any feasible placement's copies of an
+   identical box by start time orients every objective-comparable
+   symmetric pair low -> high; forcing that orientation in the
+   objective dimension is sound — and collapses the k! equivalent
+   schedules of k identical tasks. (Forcing on one axis only: forcing
+   two axes independently could demand orientations no single swap
+   realizes.) *)
 let symmetric_pairs inst =
   let n = Instance.count inst in
-  let p = Instance.precedence inst in
+  let ords = Instance.orders inst in
   let sym = Array.make (n * n) false in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
       if
         Geometry.Box.equal (Instance.box inst u) (Instance.box inst v)
-        && (not (Order.Partial_order.comparable p u v))
-        &&
-        let same = ref true in
-        for w = 0 to n - 1 do
-          if w <> u && w <> v then begin
-            if Order.Partial_order.precedes p u w <> Order.Partial_order.precedes p v w
-            then same := false;
-            if Order.Partial_order.precedes p w u <> Order.Partial_order.precedes p w v
-            then same := false
-          end
-        done;
-        !same
+        && Array.for_all
+             (fun p ->
+               (not (Order.Partial_order.comparable p u v))
+               &&
+               let same = ref true in
+               for w = 0 to n - 1 do
+                 if w <> u && w <> v then begin
+                   if
+                     Order.Partial_order.precedes p u w
+                     <> Order.Partial_order.precedes p v w
+                   then same := false;
+                   if
+                     Order.Partial_order.precedes p w u
+                     <> Order.Partial_order.precedes p w v
+                   then same := false
+                 end
+               done;
+               !same)
+             ords
       then sym.((u * n) + v) <- true
     done
   done;
@@ -101,7 +112,8 @@ let instance t = t.inst
 let container t = t.cont
 let dimension t k = t.dims.(k)
 
-let time_sequencing t = OG.orientation t.dims.(Instance.time_axis t.inst)
+let sequencing t ~axis = OG.orientation t.dims.(axis)
+let time_sequencing t = sequencing t ~axis:(Instance.objective_axis t.inst)
 let propagations t = t.propagations
 let mark t = Array.map OG.mark t.dims
 
@@ -432,10 +444,10 @@ let handle_pair t k u v =
       c.c4_time <- c.c4_time +. (clock () -. t0);
       fired t "c4" r
     in
-    (* Symmetry breaking: interchangeable tasks that end up
-       time-comparable always run in index order. *)
+    (* Symmetry breaking: interchangeable tasks that end up comparable
+       in the objective dimension always run in index order. *)
     if
-      k = Instance.time_axis t.inst
+      k = Instance.objective_axis t.inst
       && u < v
       && t.symmetric.((u * t.n) + v)
     then
@@ -602,16 +614,25 @@ let create ?(rules = default_rules) ?schedule ?(trace = Trace.null) inst cont =
     end
   in
   let* () = width_pairs 0 1 0 in
-  (* Precedence seeds: arcs force oriented comparability edges in time. *)
-  let ta = Instance.time_axis inst in
-  let rec seed = function
+  (* Order seeds: every axis's order arcs force oriented comparability
+     edges in that axis's dimension (the objective axis carries the
+     legacy precedence order; any other ordered axis seeds the same
+     way). *)
+  let ta = Instance.objective_axis inst in
+  let rec seed k = function
     | [] -> Ok ()
     | (u, v) :: rest -> (
-      match OG.force_arc t.dims.(ta) u v with
-      | Ok () -> seed rest
-      | Error c -> fail_of c ta)
+      match OG.force_arc t.dims.(k) u v with
+      | Ok () -> seed k rest
+      | Error c -> fail_of c k)
   in
-  let* () = seed (Order.Partial_order.relations (Instance.precedence inst)) in
+  let rec seed_axes k =
+    if k >= d then Ok ()
+    else
+      let* () = seed k (Order.Partial_order.relations (Instance.order inst k)) in
+      seed_axes (k + 1)
+  in
+  let* () = seed_axes 0 in
   (* A fixed schedule determines the whole time dimension: overlapping
      execution intervals are component edges, disjoint ones oriented
      comparability edges (paper Sec. 4: FixedS problems are 2D). *)
@@ -709,14 +730,15 @@ let choose_unknown t =
       in
       scan 0
     in
-    (* Time strictly first: its decisions feed the precedence
-       implications and the tight C2 chains, which is where conflicts
-       come from. Only when the (relevant) time pairs are exhausted do
-       we branch in space. *)
-    consider (d - 1);
+    (* The objective dimension strictly first: its decisions feed the
+       order implications and the tight C2 chains, which is where
+       conflicts come from. Only when the (relevant) objective pairs
+       are exhausted do we branch in the remaining axes. *)
+    let obj = Instance.objective_axis t.inst in
+    consider obj;
     if !best = None then
-      for k = 0 to d - 2 do
-        consider k
+      for k = 0 to d - 1 do
+        if k <> obj then consider k
       done;
     !best
   in

@@ -17,9 +17,11 @@
       is forbidden; when a 4-cycle of component edges has one
       comparability diagonal, the other diagonal is forced to be a
       component edge;
-    - {b precedence seeds} (initialization): every arc [u -> v] of the
-      (transitively closed) precedence order fixes the pair as a
-      comparability edge of the time dimension oriented [u -> v].
+    - {b order seeds} (initialization): every arc [u -> v] of each
+      axis's (transitively closed) order fixes the pair as a
+      comparability edge of that axis's dimension oriented [u -> v] —
+      the precedence order seeds the objective dimension, and any other
+      ordered axis seeds its own.
 
     All mutations are undoable via {!mark} / {!undo_to}, which is what
     the branch-and-bound search uses for backtracking. *)
@@ -43,11 +45,11 @@ type rules = {
 val default_rules : rules
 
 (** [create ?rules ?schedule instance container] initializes the state:
-    applies the width rule to every pair, seeds the precedence arcs in
-    the time dimension, and runs propagation to a fixpoint. When
-    [schedule] (a start time per task) is given, the time dimension is
-    fully determined from it — the FixedS problems of the paper, which
-    collapse to two spatial dimensions. [Error reason] means the
+    applies the width rule to every pair, seeds every axis's order arcs
+    in that axis's dimension, and runs propagation to a fixpoint. When
+    [schedule] (a start time per task) is given, the objective
+    dimension is fully determined from it — the FixedS problems of the
+    paper, which collapse to the remaining axes. [Error reason] means the
     instance is infeasible at the root. [trace] records one
     {!Trace.rule_fire} event per rule conflict (C2/C3/C4, capacity,
     symmetry breaking, implication closure). *)
@@ -66,12 +68,16 @@ val container : t -> Geometry.Container.t
     re-run {!stabilize}). *)
 val dimension : t -> int -> Order.Oriented_graph.t
 
-(** The committed time-axis arcs at the current node, as a fresh
-    digraph: the orientation of the time dimension's comparability
-    edges — precedence seeds plus every branching decision so far.
-    Every arc holds in all completions of the node, which is what makes
-    it a sound sequencing argument for the dynamic bounds of
-    {!Bound_engine}. O(n^2) per call; callers throttle. *)
+(** [sequencing t ~axis] is the committed arcs of one axis at the
+    current node, as a fresh digraph: the orientation of that
+    dimension's comparability edges — order seeds plus every branching
+    decision so far. Every arc holds in all completions of the node,
+    which is what makes it a sound sequencing argument for the dynamic
+    bounds of {!Bound_engine}. O(n^2) per call; callers throttle. *)
+val sequencing : t -> axis:int -> Graphlib.Digraph.t
+
+(** {!sequencing} on the instance's objective axis (historically the
+    time axis). *)
 val time_sequencing : t -> Graphlib.Digraph.t
 
 (** Marks for all dimensions at once. *)

@@ -231,7 +231,7 @@ let solve ?(options = Opp_solver.default_options) ?schedule ?(jobs = 2) inst
         if
           options.Opp_solver.use_heuristic
           && schedule = None
-          && Instance.dim inst = 3
+          && Heuristic.supports inst
         then Heuristic.pack inst cont
         else None
       in

@@ -119,7 +119,10 @@ val replay :
   (Packing_state.t, string) result
 
 (** [solve ?options ?schedule ?jobs instance container] decides the
-    instance in parallel. Stages 1 and 2 (bounds, heuristic) run once,
+    instance in parallel. Stages 1 and 2 (bounds, heuristic — the
+    latter only when {!Heuristic.supports} accepts the instance;
+    higher-dimensional or spatially-ordered instances degrade cleanly
+    to the search) run once,
     sequentially, before any domain is spawned; only the stage-3
     search is work-stolen. [jobs] defaults to 2 and is clamped to at
     least 1; [jobs = 1] short-circuits to {!Opp_solver.solve} with

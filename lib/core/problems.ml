@@ -314,28 +314,83 @@ let doubling_minimize ctx ~lo ~probe =
 (* Bounds shared by the drivers                                        *)
 (* ------------------------------------------------------------------ *)
 
-let spatial_misfit inst ~w ~h =
+(* A task overflowing the base cross-section (every axis but [axis])
+   can never be placed, whatever extent [axis] is granted. *)
+let cross_misfit inst ~axis ~base =
+  let d = Instance.dim inst in
   let bad = ref false in
   for i = 0 to Instance.count inst - 1 do
-    if Instance.extent inst i 0 > w || Instance.extent inst i 1 > h then
-      bad := true
+    for k = 0 to d - 1 do
+      if k <> axis && Instance.extent inst i k > Container.extent base k then
+        bad := true
+    done
   done;
   !bad
 
-let time_lower_bound inst ~w ~h =
-  let base_area = w * h in
-  let volume_bound = (Instance.total_volume inst + base_area - 1) / base_area in
-  let max_duration =
+(* The extent a placement actually uses along one axis — the witness's
+   achieved objective, generalizing [Placement.makespan]. *)
+let achieved_extent p ~axis =
+  let best = ref 0 in
+  for i = 0 to Placement.count p - 1 do
+    let o = Placement.origin p i in
+    best := max !best (o.(axis) + Geometry.Box.extent (Placement.box p i) axis)
+  done;
+  !best
+
+(* Serialization clique along [axis]: two tasks overflowing the base in
+   every other axis must be disjoint along [axis], so a clique of such
+   pairs needs extents summing within any feasible [axis] extent. For
+   the objective axis this is the legacy exclusion-duration bound. *)
+let exclusion_extent inst ~axis ~base =
+  let n = Instance.count inst in
+  let d = Instance.dim inst in
+  let g = Graphlib.Undirected.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let excl = ref true in
+      for k = 0 to d - 1 do
+        if
+          k <> axis
+          && Instance.extent inst i k + Instance.extent inst j k
+             <= Container.extent base k
+        then excl := false
+      done;
+      if !excl then Graphlib.Undirected.add_edge g i j
+    done
+  done;
+  fst
+    (Graphlib.Cliques.max_weight_clique g ~weight:(fun i ->
+         Instance.extent inst i axis))
+
+(* Closed-form floor for the extent needed along [axis], strengthened by
+   the engine when [axis] is the objective axis (the engine's bounds
+   argue about the objective dimension only). *)
+let extent_lower_bound ctx inst ~axis ~base =
+  let d = Instance.dim inst in
+  let cross = ref 1 in
+  for k = 0 to d - 1 do
+    if k <> axis then cross := !cross * Container.extent base k
+  done;
+  let volume_bound = (Instance.total_volume inst + !cross - 1) / !cross in
+  let max_extent =
     let best = ref 0 in
     for i = 0 to Instance.count inst - 1 do
-      best := max !best (Instance.duration inst i)
+      best := max !best (Instance.extent inst i axis)
     done;
     !best
   in
-  let probe = Container.make3 ~w ~h ~t_max:1 in
-  max
-    (max (Instance.critical_path inst) volume_bound)
-    (max max_duration (Bounds.exclusion_duration inst probe))
+  let closed =
+    max
+      (max (Instance.critical_path_axis inst axis) volume_bound)
+      (max max_extent (exclusion_extent inst ~axis ~base))
+  in
+  if axis <> Instance.objective_axis inst then closed
+  else
+    match ctx.engine with
+    | None -> closed
+    | Some e ->
+      max closed
+        (Bound_engine.time_lower_bound e inst (Container.with_extent base axis 1))
 
 let base_lower_bound inst ~t_max =
   let spatial = ref 1 in
@@ -350,14 +405,6 @@ let base_lower_bound inst ~t_max =
    bounds enabled ([ctx.engine]); ablation runs with [use_bounds =
    false] keep the closed-form values, and so does every search the
    budget accounting already covers — certificates are free. *)
-
-let ctx_time_lower_bound ctx inst ~w ~h =
-  let closed = time_lower_bound inst ~w ~h in
-  match ctx.engine with
-  | None -> closed
-  | Some e ->
-    max closed
-      (Bound_engine.time_lower_bound e inst (Container.make3 ~w ~h ~t_max:1))
 
 (* The smallest square base the engine cannot refute at [t_max]. The
    doubling search used to start from the closed-form floor even when
@@ -391,40 +438,73 @@ let feasible ?options ?jobs inst cont =
   | `Timeout -> Undecided
 
 (* ------------------------------------------------------------------ *)
-(* MinT&FindS                                                          *)
+(* MinT&FindS, and its axis-generic superproblem MinExt&FindS          *)
 (* ------------------------------------------------------------------ *)
 
-let minimize_time_ctx ctx ?upper inst ~w ~h =
-  if Instance.dim inst <> 3 then
-    invalid_arg "Problems.minimize_time: expects 3-dimensional instances";
-  if spatial_misfit inst ~w ~h then Infeasible
+let minimize_extent_ctx ctx ?upper inst ~axis ~base =
+  let d = Instance.dim inst in
+  if Container.dim base <> d then
+    invalid_arg "Problems.minimize_extent: container dimension mismatch";
+  if axis < 0 || axis >= d then
+    invalid_arg "Problems.minimize_extent: axis out of range";
+  if
+    cross_misfit inst ~axis ~base
+    (* An ordered chain overflowing a cross axis is infeasible whatever
+       extent [axis] is granted — the proof the doubling search cannot
+       reach on its own. *)
+    || List.exists
+         (fun k ->
+           k <> axis
+           && Instance.critical_path_axis inst k > Container.extent base k)
+         (Instance.ordered_axes inst)
+  then Infeasible
   else begin
-    let lo = max 1 (ctx_time_lower_bound ctx inst ~w ~h) in
+    let lo = max 1 (extent_lower_bound ctx inst ~axis ~base) in
+    let probe e = run_probe ctx (Container.with_extent base axis e) inst in
+    let tighten p = achieved_extent p ~axis in
     let incumbent =
       match upper with
       | Some { value; placement } ->
-        (* The caller's witness is feasible at [value] on this chip, and
+        (* The caller's witness is feasible at [value] on this base, and
            [lo] is a valid lower bound, so [value >= lo]; the max is
            only defensive. *)
         Some (max lo value, placement)
       | None ->
-        let base = Container.make3 ~w ~h ~t_max:1 in
-        Option.map
-          (fun (hi, p) -> (max lo hi, p))
-          (Heuristic.makespan inst ~base)
+        if axis = Instance.objective_axis inst && Heuristic.supports inst
+        then
+          Option.map
+            (fun (hi, p) -> (max lo hi, p))
+            (Heuristic.makespan inst ~base)
+        else None
     in
     match incumbent with
-    | None ->
-      (* The list scheduler always places a spatially fitting task set
-         given unbounded time, so a miss means spatial misfit. *)
-      Infeasible
     | Some incumbent ->
-      let probe t = run_probe ctx (Container.make3 ~w ~h ~t_max:t) inst in
       let best, proven =
-        bisect ~tighten:Placement.makespan ctx ~lo ~proven:lo ~incumbent ~probe
+        bisect ~tighten ctx ~lo ~proven:lo ~incumbent ~probe
       in
       classified best ~proven
+    | None ->
+      if axis = Instance.objective_axis inst && Heuristic.supports inst then
+        (* The list scheduler always places a spatially fitting task set
+           given unbounded time, so a miss means spatial misfit. *)
+        Infeasible
+      else
+        (* No constructive upper end for this axis/dimension: find one
+           by doubling, then bisect. *)
+        doubling_minimize ctx ~lo ~probe
   end
+
+let minimize_extent ?options ?jobs ?on_probe ?upper inst ~axis ~base =
+  minimize_extent_ctx
+    (make_ctx ?options ?jobs ?on_probe ())
+    ?upper inst ~axis ~base
+
+let minimize_time_ctx ctx ?upper inst ~w ~h =
+  if Instance.dim inst <> 3 then
+    invalid_arg "Problems.minimize_time: expects 3-dimensional instances";
+  minimize_extent_ctx ctx ?upper inst
+    ~axis:(Instance.objective_axis inst)
+    ~base:(Container.make3 ~w ~h ~t_max:1)
 
 let minimize_time ?options ?jobs ?on_probe ?upper inst ~w ~h =
   minimize_time_ctx (make_ctx ?options ?jobs ?on_probe ()) ?upper inst ~w ~h
@@ -645,6 +725,68 @@ let pareto_front ?options ?jobs ?on_probe inst ~h_min ~h_max =
         end
       in
       (match minimize_time_ctx ctx ?upper inst ~w:!s ~h:!s with
+      | Infeasible -> ()
+      | Unknown _ -> complete := false
+      | Optimal { value = t; placement } -> record t placement
+      | Feasible_incumbent { incumbent = { value = t; placement }; _ } ->
+        (* An unproven point may sit above the true front. *)
+        complete := false;
+        record t placement);
+      incr s
+    end
+  done;
+  { points = List.rev !points; complete = !complete }
+
+let pareto_front_axes ?options ?jobs ?on_probe inst ~sweep ~minimize ~lo ~hi
+    ~base =
+  let d = Instance.dim inst in
+  if Container.dim base <> d then
+    invalid_arg "Problems.pareto_front_axes: container dimension mismatch";
+  if sweep < 0 || sweep >= d || minimize < 0 || minimize >= d then
+    invalid_arg "Problems.pareto_front_axes: axis out of range";
+  if sweep = minimize then
+    invalid_arg "Problems.pareto_front_axes: sweep and minimize coincide";
+  if lo > hi then invalid_arg "Problems.pareto_front_axes: empty range";
+  let ctx = make_ctx ?options ?jobs ?on_probe () in
+  (* No sweep extent can push the minimized extent below the longest
+     ordered chain or the largest single task along that axis. *)
+  let floor_t =
+    let best = ref (Instance.critical_path_axis inst minimize) in
+    for i = 0 to Instance.count inst - 1 do
+      best := max !best (Instance.extent inst i minimize)
+    done;
+    !best
+  in
+  let points = ref [] in
+  (* Best (extent, witness) so far; the witness warm-starts the next
+     sweep step's bisection as its upper bracket — feasibility is
+     monotone in the sweep extent, so it stays feasible on the larger
+     container. *)
+  let incumbent = ref None in
+  let complete = ref true in
+  let s = ref lo in
+  let continue_ = ref true in
+  while !continue_ && !s <= hi do
+    let best_t = match !incumbent with Some (t, _) -> t | None -> max_int in
+    if best_t <= floor_t then continue_ := false
+    else if exhausted ctx.budget then begin
+      complete := false;
+      continue_ := false
+    end
+    else begin
+      let upper =
+        Option.map (fun (t, p) -> { value = t; placement = p }) !incumbent
+      in
+      let record t placement =
+        if t < best_t then begin
+          points := (!s, t) :: !points;
+          incumbent := Some (t, placement)
+        end
+      in
+      (match
+         minimize_extent_ctx ctx ?upper inst ~axis:minimize
+           ~base:(Container.with_extent base sweep !s)
+       with
       | Infeasible -> ()
       | Unknown _ -> complete := false
       | Optimal { value = t; placement } -> record t placement

@@ -110,9 +110,44 @@ val feasible :
   Geometry.Container.t ->
   feasibility
 
+(** [minimize_extent ?options ?jobs ?on_probe ?upper instance ~axis
+    ~base] is the smallest extent [e] along [axis] such that the tasks
+    fit the container [base] with its [axis] extent replaced by [e]
+    (the extent [base] carries on [axis] is ignored). This is the
+    axis-generic optimization problem: with a 2-dimensional instance
+    and [axis = 1] it is open-ended strip packing (with per-axis order
+    constraints when the instance carries them); with a 3-dimensional
+    instance and [axis] the objective axis it is exactly
+    {!minimize_time}.
+
+    [Infeasible] iff a task — or a chain of an axis's order — overflows
+    [base] on some axis other than [axis], or (for supported
+    3-dimensional instances) the stage-2 heuristic proves spatial
+    misfit. The search is an anytime binary
+    search between the strongest lower bound — per-axis critical path,
+    volume over the base cross-section, largest single extent, and a
+    serialization clique of tasks pairwise too large to coexist in the
+    cross-section; the {!Bound_engine} certificate is added when [axis]
+    is the instance's objective axis — and an incumbent: [upper] when
+    given, the heuristic makespan when {!Heuristic.supports} accepts
+    the instance and [axis] is its objective axis, otherwise a doubling
+    search for a feasible upper end (whose exhaustion yields [Unknown],
+    never a false [Infeasible]). *)
+val minimize_extent :
+  ?options:Opp_solver.options ->
+  ?jobs:int ->
+  ?on_probe:(probe -> unit) ->
+  ?upper:int optimum ->
+  Instance.t ->
+  axis:int ->
+  base:Geometry.Container.t ->
+  int anytime
+
 (** [minimize_time ?options ?jobs ?on_probe ?upper instance ~w ~h] is
     the smallest makespan [t] such that the tasks fit a [w x h x t]
-    container. [Infeasible] iff a task overflows the chip spatially.
+    container — {!minimize_extent} on the objective axis of a
+    3-dimensional instance over the base [w x h].
+    [Infeasible] iff a task overflows the chip spatially.
     The search is an anytime binary search between the strongest lower
     bound (critical path, volume, exclusion cliques) and an incumbent:
     [upper] when given — a caller-supplied feasible makespan with its
@@ -215,4 +250,28 @@ val pareto_front :
   Instance.t ->
   h_min:int ->
   h_max:int ->
+  front
+
+(** [pareto_front_axes ?options ?jobs ?on_probe instance ~sweep
+    ~minimize ~lo ~hi ~base] generalizes {!pareto_front} to an
+    arbitrary pair of container axes in any dimension: for each extent
+    [s] of the [sweep] axis with [lo <= s <= hi] (every other axis
+    fixed by [base]), the [minimize] axis extent is minimized with
+    {!minimize_extent}, and the minimal points [(s, e)] of the
+    trade-off are returned. Each sweep step is warm-started with the
+    previous point's witness (feasibility is monotone in the sweep
+    extent); the sweep stops early once the minimized extent reaches
+    its container-independent floor (per-axis critical path / largest
+    task). [sweep] and [minimize] must be distinct axes of the
+    instance's dimension. *)
+val pareto_front_axes :
+  ?options:Opp_solver.options ->
+  ?jobs:int ->
+  ?on_probe:(probe -> unit) ->
+  Instance.t ->
+  sweep:int ->
+  minimize:int ->
+  lo:int ->
+  hi:int ->
+  base:Geometry.Container.t ->
   front

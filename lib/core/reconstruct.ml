@@ -12,10 +12,8 @@ let of_orientations inst cont ds =
   in
   let origins = Array.init n (fun i -> Array.init d (fun k -> coords.(k).(i))) in
   let placement = Geometry.Placement.make (Instance.boxes inst) origins in
-  if
-    Geometry.Placement.is_feasible placement ~container:cont
-      ~precedes:(Instance.precedes inst)
-  then Some placement
+  if Instance.placement_feasible inst ~container:cont placement then
+    Some placement
   else None
 
 let realize ?budget state =

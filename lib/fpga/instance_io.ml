@@ -1,9 +1,11 @@
 module Box = Geometry.Box
+module Container = Geometry.Container
 
 type t = {
   instance : Packing.Instance.t;
   chip : Chip.t option;
   t_max : int option;
+  container : Container.t option;
 }
 
 let fail line fmt =
@@ -18,12 +20,30 @@ let parse text =
   let name = ref "instance" in
   let chip = ref None in
   let t_max = ref None in
+  let dim = ref 3 in
+  let dim_fixed = ref false in
+  (* latched once a directive depends on the dimension *)
+  let objective = ref None in
+  let container = ref None in
   let modules : (string, Module_library.module_type) Hashtbl.t =
     Hashtbl.create 8
   in
   let tasks = ref [] in
   (* (label, box) in reverse order *)
   let deps = ref [] in
+  let orders = ref [] in
+  (* (lineno, axis, a, b) in reverse order *)
+  let need_dim lineno d =
+    if !dim <> d then
+      fail lineno "directive needs a %d-dimensional instance (dim is %d)" d !dim;
+    dim_fixed := true
+  in
+  let extents_of lineno words =
+    if List.length words <> !dim then
+      fail lineno "expected %d extents, got %d" !dim (List.length words);
+    dim_fixed := true;
+    Array.of_list (List.map (int_of lineno) words)
+  in
   let lines = String.split_on_char '\n' text in
   List.iteri
     (fun i line ->
@@ -40,10 +60,31 @@ let parse text =
       match words with
       | [] -> ()
       | [ "name"; n ] -> name := n
+      | [ "dim"; d ] ->
+        if !dim_fixed then
+          fail lineno "dim must precede every dimension-dependent directive";
+        let d = int_of lineno d in
+        if d < 1 then fail lineno "dim must be positive";
+        dim := d
+      | [ "objective"; k ] ->
+        let k = int_of lineno k in
+        if k < 0 || k >= !dim then
+          fail lineno "objective axis %d out of range for dim %d" k !dim;
+        dim_fixed := true;
+        objective := Some k
+      | "container" :: rest ->
+        if !container <> None then fail lineno "duplicate container";
+        let exts = extents_of lineno rest in
+        (try container := Some (Container.make exts)
+         with Invalid_argument m -> fail lineno "%s" m)
       | [ "chip"; w; h ] ->
+        need_dim lineno 3;
         chip := Some (Chip.create ~w:(int_of lineno w) ~h:(int_of lineno h))
-      | [ "time"; t ] -> t_max := Some (int_of lineno t)
+      | [ "time"; t ] ->
+        need_dim lineno 3;
+        t_max := Some (int_of lineno t)
       | "module" :: type_name :: w :: h :: exec :: rest ->
+        need_dim lineno 3;
         let reconfig_time =
           match rest with
           | [] -> 0
@@ -61,6 +102,7 @@ let parse text =
             reconfig_time;
           }
       | [ "task"; label; type_name ] -> (
+        need_dim lineno 3;
         match Hashtbl.find_opt modules type_name with
         | None -> fail lineno "unknown module type %s" type_name
         | Some mt ->
@@ -68,6 +110,7 @@ let parse text =
             fail lineno "duplicate task %s" label;
           tasks := (label, Module_library.box mt) :: !tasks)
       | [ "task"; label; w; h; d ] ->
+        need_dim lineno 3;
         if List.mem_assoc label !tasks then fail lineno "duplicate task %s" label;
         let box =
           try
@@ -76,7 +119,20 @@ let parse text =
           with Invalid_argument m -> fail lineno "%s" m
         in
         tasks := (label, box) :: !tasks
+      | "box" :: label :: rest ->
+        if List.mem_assoc label !tasks then fail lineno "duplicate task %s" label;
+        let exts = extents_of lineno rest in
+        let box =
+          try Box.make exts with Invalid_argument m -> fail lineno "%s" m
+        in
+        tasks := (label, box) :: !tasks
       | [ "dep"; a; b ] -> deps := (lineno, a, b) :: !deps
+      | [ "order"; axis; a; b ] ->
+        let k = int_of lineno axis in
+        if k < 0 || k >= !dim then
+          fail lineno "order axis %d out of range for dim %d" k !dim;
+        dim_fixed := true;
+        orders := (lineno, k, a, b) :: !orders
       | w :: _ -> fail lineno "unknown directive %s" w)
     lines;
   let tasks = List.rev !tasks in
@@ -93,11 +149,24 @@ let parse text =
   let precedence =
     List.rev_map (fun (line, a, b) -> (index_of line a, index_of line b)) !deps
   in
+  let per_axis_orders =
+    List.rev_map
+      (fun (line, k, a, b) -> (k, [ (index_of line a, index_of line b) ]))
+      !orders
+  in
+  (match !container with
+  | Some c when Container.dim c <> !dim ->
+    failwith
+      (Printf.sprintf "container has %d extents but dim is %d"
+         (Container.dim c) !dim)
+  | _ -> ());
   let instance =
-    try Packing.Instance.make ~name:!name ~labels ~precedence ~boxes ()
+    try
+      Packing.Instance.make ~name:!name ~labels ~precedence
+        ~orders:per_axis_orders ?objective_axis:!objective ~boxes ()
     with Invalid_argument m -> failwith m
   in
-  { instance; chip = !chip; t_max = !t_max }
+  { instance; chip = !chip; t_max = !t_max; container = !container }
 
 let parse_file path =
   let ic = open_in path in
@@ -106,31 +175,79 @@ let parse_file path =
   close_in ic;
   parse text
 
+(* An instance the v1 grammar can express: 3-dimensional, objective on
+   the time axis, no spatial orders, no explicit container. *)
+let v1_representable t =
+  let inst = t.instance in
+  Packing.Instance.dim inst = 3
+  && Packing.Instance.objective_axis inst = 2
+  && List.for_all (fun k -> k = 2) (Packing.Instance.ordered_axes inst)
+  && t.container = None
+
 let print t =
   let inst = t.instance in
   let buf = Buffer.create 256 in
-  Buffer.add_string buf (Printf.sprintf "name %s\n" (Packing.Instance.name inst));
-  (match t.chip with
-  | Some c ->
+  if v1_representable t then begin
     Buffer.add_string buf
-      (Printf.sprintf "chip %d %d\n" (Chip.width c) (Chip.height c))
-  | None -> ());
-  (match t.t_max with
-  | Some tm -> Buffer.add_string buf (Printf.sprintf "time %d\n" tm)
-  | None -> ());
-  for i = 0 to Packing.Instance.count inst - 1 do
-    Buffer.add_string buf
-      (Printf.sprintf "task %s %d %d %d\n"
-         (Packing.Instance.label inst i)
-         (Packing.Instance.extent inst i 0)
-         (Packing.Instance.extent inst i 1)
-         (Packing.Instance.duration inst i))
-  done;
-  List.iter
-    (fun (u, v) ->
+      (Printf.sprintf "name %s\n" (Packing.Instance.name inst));
+    (match t.chip with
+    | Some c ->
       Buffer.add_string buf
-        (Printf.sprintf "dep %s %s\n"
-           (Packing.Instance.label inst u)
-           (Packing.Instance.label inst v)))
-    (Order.Partial_order.covers (Packing.Instance.precedence inst));
+        (Printf.sprintf "chip %d %d\n" (Chip.width c) (Chip.height c))
+    | None -> ());
+    (match t.t_max with
+    | Some tm -> Buffer.add_string buf (Printf.sprintf "time %d\n" tm)
+    | None -> ());
+    for i = 0 to Packing.Instance.count inst - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "task %s %d %d %d\n"
+           (Packing.Instance.label inst i)
+           (Packing.Instance.extent inst i 0)
+           (Packing.Instance.extent inst i 1)
+           (Packing.Instance.duration inst i))
+    done;
+    List.iter
+      (fun (u, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "dep %s %s\n"
+             (Packing.Instance.label inst u)
+             (Packing.Instance.label inst v)))
+      (Order.Partial_order.covers (Packing.Instance.precedence inst))
+  end
+  else begin
+    let d = Packing.Instance.dim inst in
+    Buffer.add_string buf (Printf.sprintf "dim %d\n" d);
+    if Packing.Instance.objective_axis inst <> d - 1 then
+      Buffer.add_string buf
+        (Printf.sprintf "objective %d\n" (Packing.Instance.objective_axis inst));
+    Buffer.add_string buf
+      (Printf.sprintf "name %s\n" (Packing.Instance.name inst));
+    (match t.container with
+    | Some c ->
+      Buffer.add_string buf "container";
+      for k = 0 to d - 1 do
+        Buffer.add_string buf (Printf.sprintf " %d" (Container.extent c k))
+      done;
+      Buffer.add_char buf '\n'
+    | None -> ());
+    for i = 0 to Packing.Instance.count inst - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "box %s" (Packing.Instance.label inst i));
+      for k = 0 to d - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf " %d" (Packing.Instance.extent inst i k))
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    List.iter
+      (fun k ->
+        List.iter
+          (fun (u, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf "order %d %s %s\n" k
+                 (Packing.Instance.label inst u)
+                 (Packing.Instance.label inst v)))
+          (Order.Partial_order.covers (Packing.Instance.order inst k)))
+      (Packing.Instance.ordered_axes inst)
+  end;
   Buffer.contents buf

@@ -50,20 +50,30 @@ let count_classes colors =
 
 let of_instance ?(budget = 4096) inst =
   let n = Instance.count inst in
-  let rels = PO.relations (Instance.precedence inst) in
-  let succs = Array.make n [] in
-  let preds = Array.make n [] in
-  List.iter
-    (fun (u, v) ->
-      succs.(u) <- v :: succs.(u);
-      preds.(v) <- u :: preds.(v))
-    rels;
+  let d = Instance.dim inst in
+  (* Every per-axis order participates in refinement, the automorphism
+     grouping, and the certificate — two instances differing only in a
+     spatial-axis order must never share a key. *)
+  let axis_rels =
+    Array.init d (fun k -> PO.relations (Instance.order inst k))
+  in
+  let succs = Array.init d (fun _ -> Array.make n []) in
+  let preds = Array.init d (fun _ -> Array.make n []) in
+  Array.iteri
+    (fun k rels ->
+      List.iter
+        (fun (u, v) ->
+          succs.(k).(u) <- v :: succs.(k).(u);
+          preds.(k).(v) <- u :: preds.(k).(v))
+        rels)
+    axis_rels;
   let ext = Array.init n (fun i -> Box.extents (Instance.box inst i)) in
 
-  (* Coarsest equitable refinement: split classes by (own color, sorted
-     successor colors, sorted predecessor colors) until the class count
-     stops growing. Classes only ever split (the old color heads the
-     signature), so a stable count means a stable partition. *)
+  (* Coarsest equitable refinement: split classes by (own color, per-axis
+     sorted successor colors, per-axis sorted predecessor colors) until
+     the class count stops growing. Classes only ever split (the old
+     color heads the signature), so a stable count means a stable
+     partition. *)
   (* Colors are kept as dense ranks 0..k-1 (the individualize step below
      hands us sparse values up to 2n-1; re-rank before anything indexes
      by color). *)
@@ -75,8 +85,12 @@ let of_instance ?(budget = 4096) inst =
       let sigs =
         Array.init n (fun i ->
             ( !colors.(i),
-              List.sort compare (List.map (fun j -> !colors.(j)) succs.(i)),
-              List.sort compare (List.map (fun j -> !colors.(j)) preds.(i)) ))
+              Array.to_list
+                (Array.init d (fun k ->
+                     ( List.sort compare
+                         (List.map (fun j -> !colors.(j)) succs.(k).(i)),
+                       List.sort compare
+                         (List.map (fun j -> !colors.(j)) preds.(k).(i)) ))) ))
       in
       let next = ranks sigs in
       let c = count_classes next in
@@ -89,17 +103,20 @@ let of_instance ?(budget = 4096) inst =
     !colors
   in
 
-  (* Serialization of one complete ordering: box extents in canonical
-     order, then the closure arcs in canonical coordinates, sorted.
+  (* Serialization of one complete ordering: dimension and objective
+     axis, box extents in canonical order, then each axis's closure
+     arcs in canonical coordinates, sorted, in its own tagged section.
      Equal certificates mean the two inputs are literally permutations
-     of one another. *)
+     of one another — including every per-axis order. *)
   let certificate_of_order ord =
     let pos = Array.make n 0 in
     Array.iteri (fun k v -> pos.(v) <- k) ord;
     let buf = Buffer.create (16 * n) in
     Buffer.add_string buf (string_of_int n);
     Buffer.add_char buf 'd';
-    Buffer.add_string buf (string_of_int (Instance.dim inst));
+    Buffer.add_string buf (string_of_int d);
+    Buffer.add_char buf 'o';
+    Buffer.add_string buf (string_of_int (Instance.objective_axis inst));
     Array.iter
       (fun v ->
         Buffer.add_char buf '|';
@@ -109,14 +126,24 @@ let of_instance ?(budget = 4096) inst =
             Buffer.add_char buf ',')
           ext.(v))
       ord;
-    let arcs = List.sort compare (List.map (fun (u, v) -> (pos.(u), pos.(v))) rels) in
-    List.iter
-      (fun (a, b) ->
-        Buffer.add_char buf ';';
-        Buffer.add_string buf (string_of_int a);
-        Buffer.add_char buf '>';
-        Buffer.add_string buf (string_of_int b))
-      arcs;
+    Array.iteri
+      (fun k rels ->
+        if rels <> [] then begin
+          Buffer.add_char buf '@';
+          Buffer.add_string buf (string_of_int k);
+          let arcs =
+            List.sort compare
+              (List.map (fun (u, v) -> (pos.(u), pos.(v))) rels)
+          in
+          List.iter
+            (fun (a, b) ->
+              Buffer.add_char buf ';';
+              Buffer.add_string buf (string_of_int a);
+              Buffer.add_char buf '>';
+              Buffer.add_string buf (string_of_int b))
+            arcs
+        end)
+      axis_rels;
     (Buffer.contents buf, pos)
   in
 
@@ -126,12 +153,13 @@ let of_instance ?(budget = 4096) inst =
 
   (* Individualize-and-refine, keeping the lexicographically smallest
      certificate. Within the target class, candidates with identical
-     exact predecessor and successor sets are swapped into each other by
-     an automorphism (equal color implies equal boxes, and two such
-     tasks cannot be related: u -> v would put v in succs u but not in
-     succs v), so their branches produce equal certificates — explore
-     one per group. This collapses the fully symmetric instances
-     (identical independent tasks) to a single branch. *)
+     exact predecessor and successor sets in every axis are swapped into
+     each other by an automorphism (equal color implies equal boxes, and
+     two such tasks cannot be related in any axis: u -> v would put v in
+     succs u but not in succs v), so their branches produce equal
+     certificates — explore one per group. This collapses the fully
+     symmetric instances (identical independent tasks) to a single
+     branch. *)
   let rec go colors0 =
     let colors = refine colors0 in
     if count_classes colors = n then begin
@@ -154,7 +182,10 @@ let of_instance ?(budget = 4096) inst =
       for v = n - 1 downto 0 do
         if colors.(v) = !target then
           Hashtbl.replace groups
-            (List.sort compare succs.(v), List.sort compare preds.(v))
+            (Array.to_list
+               (Array.init d (fun k ->
+                    ( List.sort compare succs.(k).(v),
+                      List.sort compare preds.(k).(v) ))))
             v
       done;
       let reps = List.sort compare (Hashtbl.fold (fun _ v acc -> v :: acc) groups []) in
@@ -179,8 +210,19 @@ let of_instance ?(budget = 4096) inst =
   let inv = Array.make n 0 in
   Array.iteri (fun i k -> inv.(k) <- i) pos;
   let boxes = Array.init n (fun k -> Instance.box inst inv.(k)) in
-  let arcs = List.map (fun (u, v) -> (pos.(u), pos.(v))) rels in
-  let cinst = Instance.make ~name:"canonical" ~precedence:arcs ~boxes () in
+  let orders =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun k rels ->
+              if rels = [] then []
+              else [ (k, List.map (fun (u, v) -> (pos.(u), pos.(v))) rels) ])
+            axis_rels))
+  in
+  let cinst =
+    Instance.make ~name:"canonical" ~orders
+      ~objective_axis:(Instance.objective_axis inst) ~boxes ()
+  in
   {
     instance = cinst;
     key = cert;

@@ -2,23 +2,30 @@
 
     Two requests describe the same optimization problem whenever their
     instances differ only by a relabeling of the tasks — the boxes are
-    the same multiset and the precedence DAGs correspond under the
-    relabeling ("Higher-Dimensional Packing with Order Constraints"
-    makes this the natural equivalence of our instances). For an exact
-    solver serving many clients, mapping every member of such a class to
-    a single key is what turns a result memo from an exact-duplicate
-    filter into a real cache.
+    the same multiset, the objective axis agrees, and {e every}
+    per-axis order DAG corresponds under the relabeling
+    ("Higher-Dimensional Packing with Order Constraints" makes this the
+    natural equivalence of our instances). For an exact solver serving
+    many clients, mapping every member of such a class to a single key
+    is what turns a result memo from an exact-duplicate filter into a
+    real cache.
 
-    [of_instance] computes a canonical relabeling by color refinement on
-    the precedence closure (initial colors from the box extents, then
-    iterated splitting by predecessor/successor color multisets)
-    followed, when symmetric task groups survive refinement, by an
-    individualize-and-refine search that keeps the lexicographically
-    smallest certificate. Candidates whose exact predecessor and
-    successor sets coincide are interchangeable by an automorphism, so
-    only one per group is explored — the fully symmetric cases
-    (identical independent tasks) collapse to a single branch instead of
-    a factorial one.
+    [of_instance] computes a canonical relabeling by color refinement
+    over all per-axis order closures (initial colors from the box
+    extents, then iterated splitting by per-axis predecessor/successor
+    color multisets) followed, when symmetric task groups survive
+    refinement, by an individualize-and-refine search that keeps the
+    lexicographically smallest certificate. Candidates whose exact
+    predecessor and successor sets coincide in every axis are
+    interchangeable by an automorphism, so only one per group is
+    explored — the fully symmetric cases (identical independent tasks)
+    collapse to a single branch instead of a factorial one.
+
+    The certificate records the dimension, the objective axis, the box
+    extents in canonical order, and one tagged section of sorted
+    closure arcs per axis that carries any — so instances differing
+    only in a spatial-axis order (or in which axis is the objective)
+    never collide.
 
     {b Soundness vs completeness.} The key is the full canonical
     serialization, so equal keys always mean isomorphic instances — a
@@ -30,11 +37,13 @@
 
 type t = {
   instance : Packing.Instance.t;
-      (** the canonical representative: same boxes and precedence as the
-          input, tasks relabeled into canonical order, default labels *)
+      (** the canonical representative: same boxes, objective axis and
+          per-axis orders as the input, tasks relabeled into canonical
+          order, default labels *)
   key : string;
-      (** full canonical serialization (boxes in order + closure arcs) —
-          the cache key; equality implies isomorphism *)
+      (** full canonical serialization (dimension, objective axis,
+          boxes in order, per-axis closure arcs) — the cache key;
+          equality implies isomorphism *)
   digest : string;  (** 64-bit FNV-1a of [key], hex — for logs/metrics *)
   perm : int array;
       (** [perm.(i)] is the canonical position of original task [i] *)

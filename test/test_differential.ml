@@ -147,6 +147,138 @@ let prop_guillotine_all_feasible (seed, cuts, arc_probability) =
      | None -> true
      | Some g -> feasible g
 
+(* ------------------------------------------------------------------ *)
+(* d-dimensional instances (d in {2, 3, 4}) with per-axis orders       *)
+(* ------------------------------------------------------------------ *)
+
+(* Witness validation for instances whose order constraints live on
+   arbitrary axes: [Placement.is_feasible] hardwires precedence to the
+   last axis, so the instance-level check is the authority here. *)
+let check_witness_ddim name inst container p =
+  if not (Instance.placement_feasible inst ~container p) then
+    QCheck.Test.fail_reportf "%s: witness fails d-dim validation" name
+
+let seq_verdict_ddim inst container =
+  match Solver.solve ~options:seq_options inst container with
+  | Solver.Feasible p, _ ->
+    check_witness_ddim "sequential" inst container p;
+    Yes p
+  | Solver.Infeasible, _ -> No
+  | Solver.Timeout, _ -> QCheck.Test.fail_report "sequential solver timed out"
+
+let par_verdict_ddim ~jobs inst container =
+  let r = Par.solve ~options:seq_options ~jobs inst container in
+  match r.Par.outcome with
+  | Solver.Feasible p ->
+    check_witness_ddim "parallel" inst container p;
+    Yes p
+  | Solver.Infeasible -> No
+  | Solver.Timeout -> QCheck.Test.fail_report "parallel solver timed out"
+
+let geo_verdict_ddim inst container =
+  match BB.solve ~node_limit:geo_node_limit inst container with
+  | BB.Feasible p, _ ->
+    check_witness_ddim "geometric" inst container p;
+    Some (Yes p)
+  | BB.Infeasible, _ -> Some No
+  | BB.Timeout, _ -> None
+
+let ddim_container = function
+  | 2 -> Container.make [| 5; 7 |]
+  | 3 -> Container.make [| 4; 4; 6 |]
+  | 4 -> Container.make [| 2; 2; 3; 5 |]
+  | d -> invalid_arg (Printf.sprintf "ddim_container: %d" d)
+
+let arb_ddim =
+  QCheck.make
+    QCheck.Gen.(
+      let* dim = oneofl [ 2; 3; 4 ] in
+      let* seed = int_range 0 1_000_000 in
+      let* cuts = int_range 0 5 in
+      let* arc_probability = oneofl [ 0.0; 0.3; 0.6 ] in
+      (* Order arcs on the first axis, the objective axis, or both:
+         spatial orders must be exercised, not just the legacy time
+         order. *)
+      let* axes = oneofl [ [ 0 ]; [ dim - 1 ]; [ 0; dim - 1 ] ] in
+      (* How much the container's objective-axis extent is cut below
+         the witnessed tiling: 0 keeps the instance feasible by
+         construction, larger values make infeasibility likely. *)
+      let* squeeze = int_range 0 2 in
+      return (dim, seed, cuts, arc_probability, axes, squeeze))
+    ~print:(fun (dim, seed, cuts, ap, axes, squeeze) ->
+      Printf.sprintf "dim=%d seed=%d cuts=%d arcs=%.1f axes=[%s] squeeze=%d"
+        dim seed cuts ap
+        (String.concat ";" (List.map string_of_int axes))
+        squeeze)
+
+let ddim_case (dim, seed, cuts, arc_probability, axes, squeeze) =
+  let full = ddim_container dim in
+  let inst, _witness =
+    Benchmarks.Generate.guillotine ~order_axes:axes ~seed ~container:full
+      ~cuts ~arc_probability ()
+  in
+  let axis = Instance.objective_axis inst in
+  let extent = max 1 (Container.extent full axis - squeeze) in
+  (inst, Container.with_extent full axis extent, squeeze = 0)
+
+let prop_ddim_three_way case =
+  let inst, container, feasible_by_construction = ddim_case case in
+  let s = seq_verdict_ddim inst container in
+  let p = par_verdict_ddim ~jobs:2 inst container in
+  (match (s, feasible_by_construction) with
+  | No, true ->
+    QCheck.Test.fail_report "guillotine tiling rejected at full container"
+  | _ -> ());
+  agree s p
+  &&
+  match geo_verdict_ddim inst container with
+  | None -> true
+  | Some g -> agree s g
+
+(* The packing search's optimum along any axis must match the one the
+   geometric enumeration finds by walking extents up from 1. *)
+let geo_min_extent inst ~axis ~base =
+  let rec walk e =
+    if e > 64 then None
+    else
+      let cont = Container.with_extent base axis e in
+      match BB.solve ~node_limit:geo_node_limit inst cont with
+      | BB.Feasible _, _ -> Some e
+      | BB.Infeasible, _ -> walk (e + 1)
+      | BB.Timeout, _ -> None
+  in
+  walk 1
+
+let prop_ddim_min_extent case =
+  let inst, _, _ = ddim_case case in
+  let dim = Instance.dim inst in
+  let base = ddim_container dim in
+  (* Minimize a spatial axis, not just the objective one. *)
+  let axis = match case with d, s, _, _, _, _ -> (s + d) mod dim in
+  match
+    Packing.Problems.minimize_extent ~options:seq_options inst ~axis ~base
+  with
+  | Packing.Problems.Optimal { value; placement } ->
+    check_witness_ddim "minimize_extent"
+      inst
+      (Container.with_extent base axis value)
+      placement;
+    (match geo_min_extent inst ~axis ~base with
+    | None -> true
+    | Some g ->
+      if g <> value then
+        QCheck.Test.fail_reportf
+          "minimize_extent axis %d: packing says %d, geometric says %d" axis
+          value g;
+      true)
+  | Packing.Problems.Infeasible ->
+    (match geo_min_extent inst ~axis ~base with
+    | Some g ->
+      QCheck.Test.fail_reportf
+        "minimize_extent axis %d: Infeasible but geometric finds %d" axis g
+    | None -> true)
+  | _ -> QCheck.Test.fail_report "minimize_extent exhausted its budget"
+
 let () =
   Alcotest.run "differential"
     [
@@ -161,5 +293,12 @@ let () =
         [
           qtest ~count:150 "feasible by construction, all three say yes"
             arb_guillotine prop_guillotine_all_feasible;
+        ] );
+      ( "ddim",
+        [
+          qtest ~count:150 "d in {2,3,4}: seq = par = geometric" arb_ddim
+            prop_ddim_three_way;
+          qtest ~count:60 "d in {2,3,4}: minimize_extent = geometric walk"
+            arb_ddim prop_ddim_min_extent;
         ] );
     ]

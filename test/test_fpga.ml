@@ -225,6 +225,7 @@ let prop_io_roundtrip_id seed =
       IO.instance = i1;
       chip = (if seed mod 3 = 0 then Some (Chip.create ~w:7 ~h:5) else None);
       t_max = (if seed mod 2 = 0 then Some (4 + (seed mod 7)) else None);
+      container = None;
     }
   in
   let io2 = IO.parse (IO.print io1) in
@@ -251,12 +252,123 @@ let prop_io_roundtrip_id seed =
 
 let test_io_de_roundtrip () =
   let io =
-    { IO.instance = Benchmarks.De.instance; chip = Some (Chip.square 32); t_max = Some 14 }
+    {
+      IO.instance = Benchmarks.De.instance;
+      chip = Some (Chip.square 32);
+      t_max = Some 14;
+      container = None;
+    }
   in
   let io2 = IO.parse (IO.print io) in
   Alcotest.(check int) "11 tasks" 11 (Packing.Instance.count io2.IO.instance);
   (* Transitive closure survives: v1 precedes v5 through v3, v4. *)
   Alcotest.(check bool) "closure" true (Packing.Instance.precedes io2.IO.instance 0 4)
+
+let test_io_v1_byte_compat () =
+  (* A 3D time-objective instance without spatial orders must print in
+     the legacy v1 grammar byte-for-byte (no dim/objective/box lines),
+     and print must be a fixpoint of parse ∘ print. *)
+  let io = IO.parse sample in
+  let printed = IO.print io in
+  Alcotest.(check string) "pinned legacy surface"
+    "name demo\nchip 8 8\ntime 10\ntask a 4 4 3\ntask b 2 2 3\ndep a b\n"
+    printed;
+  Alcotest.(check string) "print is a fixpoint" printed
+    (IO.print (IO.parse printed))
+
+let sample_v2 =
+  {|# 2D strip with a reading-order arc
+dim 2
+name strip
+container 8 1
+box a 3 2
+box b 2 4
+order 0 a b
+|}
+
+let test_io_v2_parse_print () =
+  let io = IO.parse sample_v2 in
+  let inst = io.IO.instance in
+  Alcotest.(check int) "dim" 2 (Packing.Instance.dim inst);
+  Alcotest.(check int) "objective defaults to last axis" 1
+    (Packing.Instance.objective_axis inst);
+  (match io.IO.container with
+  | Some c ->
+    Alcotest.(check int) "container width" 8 (Geometry.Container.extent c 0)
+  | None -> Alcotest.fail "container expected");
+  Alcotest.(check bool) "axis-0 order" true
+    (Packing.Instance.precedes_axis inst 0 0 1);
+  Alcotest.(check bool) "no objective-axis order" false
+    (Packing.Instance.precedes inst 0 1);
+  let printed = IO.print io in
+  Alcotest.(check string) "v2 print is a fixpoint" printed
+    (IO.print (IO.parse printed))
+
+let test_io_v2_errors () =
+  let expect_failure text =
+    match IO.parse text with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "expected failure for %S" text
+  in
+  (* dimension-dependent directives before/against dim *)
+  expect_failure "box a 1 1\ndim 2";
+  expect_failure "dim 2\nbox a 1 1 1";
+  expect_failure "dim 2\nchip 4 4\nbox a 1 1";
+  expect_failure "dim 2\nbox a 1 1\norder 2 a a";
+  expect_failure "dim 2\ncontainer 4\nbox a 1 1";
+  expect_failure "dim 2\nobjective 5\nbox a 1 1"
+
+(* parse ∘ print is the identity on d-dimensional instances with
+   per-axis orders: labels, boxes, every axis's order relation, and
+   the container all survive. *)
+let prop_io_v2_roundtrip_id seed =
+  let dim = 2 + (seed mod 3) in
+  let container =
+    Geometry.Container.make (Array.init dim (fun k -> 4 + ((seed + k) mod 3)))
+  in
+  let i1, _ =
+    Benchmarks.Generate.guillotine
+      ~order_axes:(List.init dim Fun.id)
+      ~seed ~container ~cuts:4 ~arc_probability:0.4 ()
+  in
+  let io1 =
+    {
+      IO.instance = i1;
+      chip = None;
+      t_max = None;
+      container = (if seed mod 2 = 0 then Some container else None);
+    }
+  in
+  let io2 = IO.parse (IO.print io1) in
+  let i2 = io2.IO.instance in
+  let n = Packing.Instance.count i1 in
+  Packing.Instance.name i1 = Packing.Instance.name i2
+  && Packing.Instance.dim i2 = dim
+  && Packing.Instance.count i2 = n
+  && List.for_all
+       (fun i ->
+         Packing.Instance.label i1 i = Packing.Instance.label i2 i
+         && Box.equal (Packing.Instance.box i1 i) (Packing.Instance.box i2 i))
+       (List.init n Fun.id)
+  && List.for_all
+       (fun k ->
+         List.for_all
+           (fun i ->
+             List.for_all
+               (fun j ->
+                 Packing.Instance.precedes_axis i1 k i j
+                 = Packing.Instance.precedes_axis i2 k i j)
+               (List.init n Fun.id))
+           (List.init n Fun.id))
+       (List.init dim Fun.id)
+  &&
+  match (io1.IO.container, io2.IO.container) with
+  | Some a, Some b ->
+    List.for_all
+      (fun k -> Geometry.Container.extent a k = Geometry.Container.extent b k)
+      (List.init dim Fun.id)
+  | None, None -> true
+  | _ -> false
 
 
 (* ------------------------------------------------------------------ *)
@@ -887,5 +999,10 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
           Alcotest.test_case "DE roundtrip" `Quick test_io_de_roundtrip;
           qtest ~count:200 "parse/print identity" arb_seed prop_io_roundtrip_id;
+          Alcotest.test_case "v1 byte compat" `Quick test_io_v1_byte_compat;
+          Alcotest.test_case "v2 parse/print" `Quick test_io_v2_parse_print;
+          Alcotest.test_case "v2 errors" `Quick test_io_v2_errors;
+          qtest ~count:200 "v2 parse/print identity (d in {2,3,4})" arb_seed
+            prop_io_v2_roundtrip_id;
         ] );
     ]

@@ -233,6 +233,58 @@ let test_state_schedule_seed () =
   | Error e -> Alcotest.failf "consistent: %s" e
   | Ok st -> Alcotest.(check bool) "order seeded" true (OG.arc (PS.dimension st 2) 0 1)
 
+let test_state_spatial_order_seed () =
+  (* An order on axis 0 must seed an oriented arc in that axis's graph
+     and leave the other axes open. *)
+  let i =
+    Instance.make
+      ~orders:[ (0, [ (0, 1) ]) ]
+      ~boxes:[| box3 1 1 1; box3 1 1 1 |]
+      ()
+  in
+  match PS.create i (cont3 4 4 4) with
+  | Error e -> Alcotest.failf "consistent: %s" e
+  | Ok st ->
+    Alcotest.(check bool) "x arc seeded" true (OG.arc (PS.dimension st 0) 0 1);
+    Alcotest.(check bool) "y open" true
+      (OG.kind (PS.dimension st 1) 0 1 = OG.Unknown);
+    Alcotest.(check bool) "t open" true
+      (OG.kind (PS.dimension st 2) 0 1 = OG.Unknown)
+
+let test_state_every_axis_seeds () =
+  (* Distinct orders on every axis of a 4-dimensional instance: each
+     axis's graph carries exactly its own arc. *)
+  let b = Box.make [| 1; 1; 1; 1 |] in
+  let i =
+    Instance.make
+      ~orders:[ (0, [ (0, 1) ]); (1, [ (1, 2) ]); (2, [ (2, 0) ]) ]
+      ~precedence:[ (0, 2) ] (* objective axis 3 *)
+      ~boxes:[| b; b; b |] ()
+  in
+  match PS.create i (Container.make [| 4; 4; 4; 4 |]) with
+  | Error e -> Alcotest.failf "consistent: %s" e
+  | Ok st ->
+    List.iter
+      (fun (k, u, v) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "axis %d arc %d->%d" k u v)
+          true
+          (OG.arc (PS.dimension st k) u v))
+      [ (0, 0, 1); (1, 1, 2); (2, 2, 0); (3, 0, 2) ]
+
+let test_state_spatial_order_conflict () =
+  (* A chain on axis 0 longer than the container width is a root
+     conflict, no matter how roomy the other axes are. *)
+  let i =
+    Instance.make
+      ~orders:[ (0, [ (0, 1) ]) ]
+      ~boxes:[| box3 3 1 1; box3 3 1 1 |]
+      ()
+  in
+  match PS.create i (cont3 4 9 9) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected root conflict on the ordered axis"
+
 (* ------------------------------------------------------------------ *)
 (* Solver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -415,6 +467,90 @@ let test_minimize_time_misfit () =
   let i = inst [ box3 5 1 1 ] in
   Alcotest.(check bool) "too wide" true
     (Problems.minimize_time i ~w:4 ~h:4 = Problems.Infeasible)
+
+let test_minimize_extent_strip2d () =
+  (* Open 2D strip packing: a 3x2 and a 3x3 piece on a width-6 strip
+     pack side by side into height 3 (area bound ceil(15/6) = 3 is not
+     tight; the 3x3 piece forces 3). *)
+  let boxes = [| Box.make [| 3; 2 |]; Box.make [| 3; 3 |] |] in
+  let i = Instance.make ~boxes () in
+  let base = Container.make [| 6; 1 |] in
+  let { Problems.value; placement } =
+    optimal_exn (Problems.minimize_extent i ~axis:1 ~base)
+  in
+  Alcotest.(check int) "strip height" 3 value;
+  Alcotest.(check bool) "witness fits" true
+    (Instance.placement_feasible i
+       ~container:(Container.with_extent base 1 value)
+       placement);
+  (* An axis-0 order keeps the side-by-side optimum (3 + 3 <= 6, and
+     stacking can never satisfy an x-order), but shrinking the strip
+     below the x-chain makes every height infeasible. *)
+  let ordered = Instance.make ~orders:[ (0, [ (0, 1) ]) ] ~boxes () in
+  let { Problems.value; _ } =
+    optimal_exn (Problems.minimize_extent ordered ~axis:1 ~base)
+  in
+  Alcotest.(check int) "x-order still side by side" 3 value;
+  Alcotest.(check bool) "x-chain overflows narrower strip" true
+    (Problems.minimize_extent ordered ~axis:1
+       ~base:(Container.make [| 5; 1 |])
+    = Problems.Infeasible);
+  (* An order on the minimized axis is the 2D precedence chain: the
+     optimum becomes the stacked height. *)
+  let stacked = Instance.make ~orders:[ (1, [ (0, 1) ]) ] ~boxes () in
+  let { Problems.value; _ } =
+    optimal_exn (Problems.minimize_extent stacked ~axis:1 ~base)
+  in
+  Alcotest.(check int) "y-order stacks" 5 value
+
+let test_minimize_extent_spatial_axis () =
+  (* Minimizing a spatial axis of a 3D instance: two 2x2x2 boxes over a
+     2-wide, 2-cycle base must stack along y -> extent 4; with 4 cycles
+     they serialize in time -> extent 2. *)
+  let i = inst [ box3 2 2 2; box3 2 2 2 ] in
+  let { Problems.value; _ } =
+    optimal_exn
+      (Problems.minimize_extent i ~axis:1
+         ~base:(Container.make [| 2; 1; 2 |]))
+  in
+  Alcotest.(check int) "stacked" 4 value;
+  let { Problems.value; _ } =
+    optimal_exn
+      (Problems.minimize_extent i ~axis:1
+         ~base:(Container.make [| 2; 1; 4 |]))
+  in
+  Alcotest.(check int) "serialized in time" 2 value
+
+let test_minimize_extent_matches_minimize_time () =
+  (* On the objective axis of a 3D instance the two drivers are the
+     same problem. *)
+  let i = inst ~precedence:[ (0, 1) ] [ box3 2 2 2; box3 2 2 2 ] in
+  let a = optimal_exn (Problems.minimize_time i ~w:4 ~h:4) in
+  let b =
+    optimal_exn
+      (Problems.minimize_extent i ~axis:(Instance.objective_axis i)
+         ~base:(Container.make3 ~w:4 ~h:4 ~t_max:1))
+  in
+  Alcotest.(check int) "same optimum" a.Problems.value b.Problems.value
+
+let test_minimize_extent_cross_infeasible () =
+  (* Infeasibility must be detected on cross axes: a task overflowing
+     the base, and an order chain overflowing a cross axis. *)
+  let wide = Instance.make ~boxes:[| Box.make [| 7; 1 |] |] () in
+  Alcotest.(check bool) "task overflows base" true
+    (Problems.minimize_extent wide ~axis:1
+       ~base:(Container.make [| 6; 1 |])
+    = Problems.Infeasible);
+  let chain =
+    Instance.make
+      ~orders:[ (0, [ (0, 1) ]) ]
+      ~boxes:[| Box.make [| 4; 1 |]; Box.make [| 4; 1 |] |]
+      ()
+  in
+  Alcotest.(check bool) "axis-0 chain overflows base" true
+    (Problems.minimize_extent chain ~axis:1
+       ~base:(Container.make [| 6; 1 |])
+    = Problems.Infeasible)
 
 let test_minimize_base () =
   (* Two 2x2x2 boxes in 2 cycles: need a 4x2... with quadratic base a
@@ -783,6 +919,12 @@ let () =
           Alcotest.test_case "precedence seed" `Quick test_state_precedence_seed;
           Alcotest.test_case "undo" `Quick test_state_undo;
           Alcotest.test_case "schedule seed" `Quick test_state_schedule_seed;
+          Alcotest.test_case "spatial order seed" `Quick
+            test_state_spatial_order_seed;
+          Alcotest.test_case "every axis seeds" `Quick
+            test_state_every_axis_seeds;
+          Alcotest.test_case "spatial order conflict" `Quick
+            test_state_spatial_order_conflict;
         ] );
       ( "solver",
         [
@@ -834,6 +976,14 @@ let () =
       ( "problems",
         [
           Alcotest.test_case "minimize time chain" `Quick test_minimize_time;
+          Alcotest.test_case "minimize extent: 2D strip" `Quick
+            test_minimize_extent_strip2d;
+          Alcotest.test_case "minimize extent: spatial axis" `Quick
+            test_minimize_extent_spatial_axis;
+          Alcotest.test_case "minimize extent = minimize time" `Quick
+            test_minimize_extent_matches_minimize_time;
+          Alcotest.test_case "minimize extent: cross infeasible" `Quick
+            test_minimize_extent_cross_infeasible;
           Alcotest.test_case "minimize time parallel" `Quick
             test_minimize_time_parallel;
           Alcotest.test_case "minimize time misfit" `Quick test_minimize_time_misfit;

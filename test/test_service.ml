@@ -47,12 +47,29 @@ let permute_instance rng inst =
   let labels = Array.init n (fun k -> Instance.label inst perm.(k)) in
   let pos = Array.make n 0 in
   Array.iteri (fun k o -> pos.(o) <- k) perm;
-  let arcs =
-    List.map
-      (fun (u, v) -> (pos.(u), pos.(v)))
-      (Order.Partial_order.relations (Instance.precedence inst))
+  let orders =
+    List.init (Instance.dim inst) (fun k ->
+        ( k,
+          List.map
+            (fun (u, v) -> (pos.(u), pos.(v)))
+            (Order.Partial_order.relations (Instance.order inst k)) ))
   in
-  Instance.make ~name:(Instance.name inst) ~labels ~precedence:arcs ~boxes ()
+  Instance.make ~name:(Instance.name inst) ~labels ~orders
+    ~objective_axis:(Instance.objective_axis inst) ~boxes ()
+
+(* [inst] plus one extra arc on [axis], everything else unchanged. *)
+let with_order_arc inst ~axis (u, v) =
+  let n = Instance.count inst in
+  let orders =
+    (axis, [ (u, v) ])
+    :: List.init (Instance.dim inst) (fun k ->
+           (k, Order.Partial_order.relations (Instance.order inst k)))
+  in
+  Instance.make ~name:(Instance.name inst)
+    ~labels:(Array.init n (Instance.label inst))
+    ~orders
+    ~objective_axis:(Instance.objective_axis inst)
+    ~boxes:(Instance.boxes inst) ()
 
 let arb_case =
   let gen =
@@ -78,7 +95,9 @@ let case_rng (_, _, _, _, _, shuffle_seed) =
   Random.State.make [| shuffle_seed |]
 
 let request_line ~id ~op ?chip ?time ?node_limit inst =
-  let io = { Fpga.Instance_io.instance = inst; chip = None; t_max = None } in
+  let io =
+    { Fpga.Instance_io.instance = inst; chip = None; t_max = None; container = None }
+  in
   T.to_string
     (T.Obj
        ([
@@ -129,6 +148,34 @@ let prop_canonical_relabeling_invariant case =
   Instance.boxes ia = Instance.boxes ib
   && Order.Partial_order.relations (Instance.precedence ia)
      = Order.Partial_order.relations (Instance.precedence ib)
+
+(* Satellite of the per-axis order refactor: the cache key must see
+   spatial orders. Instances that differ only in an order on a
+   non-time axis — or carry the same arc on different axes — must
+   never collide, while relabeling invariance still holds for the
+   spatially-ordered instance. *)
+let prop_spatial_order_distinguishes_key case =
+  let inst = case_instance case in
+  let n = Instance.count inst in
+  QCheck.assume (n >= 2);
+  let rng = case_rng case in
+  let u = Random.State.int rng n in
+  let v = (u + 1 + Random.State.int rng (n - 1)) mod n in
+  let base = Canonical.of_instance inst in
+  let ax0_inst = with_order_arc inst ~axis:0 (u, v) in
+  let ax0 = Canonical.of_instance ax0_inst in
+  let ax1 = Canonical.of_instance (with_order_arc inst ~axis:1 (u, v)) in
+  if base.Canonical.key = ax0.Canonical.key then
+    QCheck.Test.fail_reportf "axis-0 arc %d->%d invisible to the key" u v;
+  if base.Canonical.key = ax1.Canonical.key then
+    QCheck.Test.fail_reportf "axis-1 arc %d->%d invisible to the key" u v;
+  if ax0.Canonical.key = ax1.Canonical.key then
+    QCheck.Test.fail_reportf "arc %d->%d on axis 0 collides with axis 1" u v;
+  let relabeled = Canonical.of_instance (permute_instance rng ax0_inst) in
+  if relabeled.Canonical.key <> ax0.Canonical.key then
+    QCheck.Test.fail_report
+      "relabeling changed the key of a spatially-ordered instance";
+  true
 
 let prop_canonical_optimum_preserved case =
   let inst = case_instance case in
@@ -396,6 +443,8 @@ let () =
         [
           qtest ~count:100 "key invariant under relabeling" arb_case
             prop_canonical_relabeling_invariant;
+          qtest ~count:100 "spatial orders distinguish keys" arb_case
+            prop_spatial_order_distinguishes_key;
           qtest ~count:25 "optimum preserved" arb_case
             prop_canonical_optimum_preserved;
           qtest ~count:40 "restored witness feasible" arb_case
