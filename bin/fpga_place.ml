@@ -1060,8 +1060,27 @@ let serve_cmd =
                    at a time, same protocol and shared cache) instead of \
                    stdin/stdout.")
   in
+  let metrics_port =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-port" ] ~docv:"PORT"
+             ~doc:"Expose process metrics on 127.0.0.1:$(docv): every \
+                   connection receives one Prometheus text-format \
+                   exposition and is closed.")
+  in
+  let metrics_snapshot =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-snapshot" ] ~docv:"FILE"
+             ~doc:"Append a JSONL metrics snapshot line to $(docv) on the \
+                   heartbeat cadence (1.0 s unless --heartbeat says \
+                   otherwise), plus one final snapshot at shutdown.")
+  in
   let run serve_jobs cache_size no_cache max_nodes max_time solver_jobs
-      heartbeat port stats =
+      heartbeat port metrics_port metrics_snapshot stats =
+    (* The serve loop always runs with a live metrics registry — the
+       "metrics" request op, the exposition port, and the snapshot dump
+       all read it. Installed before [create] so the server and cache
+       mint live handles. *)
+    Packing.Metrics.set_default (Packing.Metrics.create ());
     let config =
       {
         Service.Server.jobs = serve_jobs;
@@ -1074,6 +1093,17 @@ let serve_cmd =
       }
     in
     let server = Service.Server.create ~config () in
+    (match metrics_port with
+    | Some p -> ignore (Service.Server.serve_metrics ~port:p)
+    | None -> ());
+    let stop_dump =
+      match metrics_snapshot with
+      | Some path ->
+        Some
+          (Service.Server.start_metrics_dump ~path
+             ~interval_s:(Option.value heartbeat ~default:1.0))
+      | None -> None
+    in
     (match port with
     | Some port -> Service.Server.serve_tcp server ~port
     | None ->
@@ -1084,6 +1114,7 @@ let serve_cmd =
         Service.Writer.line w
           (Packing.Telemetry.to_string (Service.Server.stats_json server))
       | None -> ()));
+    (match stop_dump with Some stop -> stop () | None -> ());
     0
   in
   let doc =
@@ -1091,11 +1122,71 @@ let serve_cmd =
      with --port) multiplexing solve/min-time/min-area requests over a \
      domain pool, with a canonicalization-keyed result cache in front of \
      the solver. With --stats json, a final {\"ev\":\"stats\"} line reports \
-     request and cache counters at EOF."
+     request and cache counters at EOF. Process metrics are always \
+     collected; scrape them with --metrics-port, dump them with \
+     --metrics-snapshot, or send {\"op\":\"metrics\"} on the request \
+     stream."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ serve_jobs $ cache_size $ no_cache $ max_nodes
-          $ max_time $ solver_jobs $ heartbeat $ port $ stats_opt)
+          $ max_time $ solver_jobs $ heartbeat $ port $ metrics_port
+          $ metrics_snapshot $ stats_opt)
+
+let metrics_summary_cmd =
+  let metrics_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"A Prometheus text exposition (as scraped from \
+                   --metrics-port) or a JSONL snapshot file (as written by \
+                   --metrics-snapshot).")
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (* A snapshot file renders its freshest (last) snapshot line; a
+       file with no parseable snapshot line is read as an exposition.
+       Both sources end in the same table. *)
+    let snapshot_of_line line =
+      if String.trim line = "" then None
+      else
+        match Packing.Telemetry.of_string line with
+        | Error _ -> None
+        | Ok j ->
+          let payload =
+            match Packing.Telemetry.member "metrics" j with
+            | Some p -> p
+            | None -> j
+          in
+          (match Packing.Metrics.of_json payload with
+          | Ok s -> Some s
+          | Error _ -> None)
+    in
+    let from_jsonl =
+      String.split_on_char '\n' text
+      |> List.filter_map snapshot_of_line
+      |> List.rev
+      |> function
+      | s :: _ -> Some s
+      | [] -> None
+    in
+    let result =
+      match from_jsonl with
+      | Some s -> Ok s
+      | None -> Packing.Metrics.of_prometheus text
+    in
+    match result with
+    | Error msg -> err (file ^ ": " ^ msg)
+    | Ok s ->
+      Format.printf "%a@?" Packing.Metrics.pp_table s;
+      0
+  in
+  let doc =
+    "Render a metrics file as a human table: counters and gauges with \
+     their labels, histograms with count, sum and bucket-resolution \
+     p50/p99. Accepts both exposition and snapshot formats."
+  in
+  Cmd.v (Cmd.info "metrics-summary" ~doc) Term.(const run $ metrics_arg)
 
 let export_cmd =
   let which =
@@ -1384,4 +1475,5 @@ let () =
             serve_cmd;
             online_cmd;
             trace_summary_cmd;
+            metrics_summary_cmd;
           ]))

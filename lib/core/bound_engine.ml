@@ -512,6 +512,11 @@ type counter = {
   mutable calls : int;
   mutable time_s : float;
   mutable prunes : int;
+  (* Process-metrics mirrors of the three tallies, labeled by bound
+     name. No-op handles when the default registry is disabled. *)
+  m_calls : Metrics.counter;
+  m_prunes : Metrics.counter;
+  m_time : Metrics.counter;
 }
 
 type t = {
@@ -532,11 +537,30 @@ let create ?names ?(trace = Trace.null) () =
           | None -> invalid_arg ("Bound_engine.create: unknown bound " ^ name))
         names
   in
+  let m = Metrics.default () in
   {
     entries;
     tallies =
       List.map
-        (fun e -> (e.name, { calls = 0; time_s = 0.0; prunes = 0 }))
+        (fun e ->
+          ( e.name,
+            {
+              calls = 0;
+              time_s = 0.0;
+              prunes = 0;
+              m_calls =
+                Metrics.counter m ~help:"Bound evaluations by bound"
+                  ~labels:[ ("bound", e.name) ]
+                  "fpga_bounds_calls_total";
+              m_prunes =
+                Metrics.counter m ~help:"Infeasible verdicts by bound"
+                  ~labels:[ ("bound", e.name) ]
+                  "fpga_bounds_prunes_total";
+              m_time =
+                Metrics.counter m ~help:"Seconds spent evaluating each bound"
+                  ~labels:[ ("bound", e.name) ]
+                  "fpga_bounds_seconds_total";
+            } ))
         entries;
     trace;
   }
@@ -562,8 +586,12 @@ let timed t e inst container ~seq =
   let dt = Unix.gettimeofday () -. start in
   c.calls <- c.calls + 1;
   c.time_s <- c.time_s +. dt;
+  Metrics.incr c.m_calls;
+  Metrics.addf c.m_time dt;
   (match verdict with
-  | Infeasible _ -> c.prunes <- c.prunes + 1
+  | Infeasible _ ->
+    c.prunes <- c.prunes + 1;
+    Metrics.incr c.m_prunes
   | Lower_bound _ | Inconclusive -> ());
   (* The trace records the same measured duration the counters
      accumulate, so [trace-summary] reproduces [--stats json]. *)

@@ -64,6 +64,10 @@ type t = {
   stats : counters;
   mutable propagations : int;
   trace : Trace.t;
+  m_rule_conflicts : (string * Metrics.counter) list;
+      (* per-rule conflict counters from the process metrics registry;
+         [[]] (all lookups miss) when the registry was disabled at
+         [create], so the off path stays free. *)
 }
 
 (* Tasks u < v are interchangeable when their boxes are equal and they
@@ -407,7 +411,11 @@ exception Rule_conflict of string
    only a tag match. *)
 let fired t rule r =
   (match r with
-  | Error reason -> Trace.rule_fire t.trace ~rule ~detail:reason
+  | Error reason ->
+    Trace.rule_fire t.trace ~rule ~detail:reason;
+    (match List.assoc_opt rule t.m_rule_conflicts with
+    | Some c -> Metrics.incr c
+    | None -> ())
   | Ok () -> ());
   r
 
@@ -594,6 +602,18 @@ let create ?(rules = default_rules) ?schedule ?(trace = Trace.null) inst cont =
         };
       propagations = 0;
       trace;
+      m_rule_conflicts =
+        (let m = Metrics.default () in
+         if not (Metrics.enabled m) then []
+         else
+           List.map
+             (fun rule ->
+               ( rule,
+                 Metrics.counter m
+                   ~help:"Packing-rule conflicts by rule"
+                   ~labels:[ ("rule", rule) ]
+                   "fpga_solver_rule_conflicts_total" ))
+             [ "c2"; "c3"; "c4"; "capacity"; "symmetry"; "implications" ]);
     }
   in
   let ( let* ) r f = match r with Ok () -> f () | Error msg -> Error msg in

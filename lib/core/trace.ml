@@ -605,6 +605,7 @@ module Summary = struct
     bounds : Telemetry.bound_counters;
     phases : (string * float) list;
     rules_fired : (string * int) list;
+    online_ops : (string * (int * float)) list;
     incumbents : (float * int) list;
     probes : int;
     probe_time_s : float;
@@ -644,6 +645,7 @@ module Summary = struct
     let bounds = ref [] in
     let phases = ref [] in
     let rules = ref [] in
+    let online_ops = ref [] in
     let incumbents = ref [] in
     let probes = ref 0 in
     let probe_time = ref 0.0 in
@@ -720,6 +722,13 @@ module Summary = struct
               | "realize" -> realize_time := !realize_time +. dur
               | "claim" -> upd (fun pw -> { pw with claims = pw.claims + 1 })
               | "steal" -> upd (fun pw -> { pw with steals = pw.steals + 1 })
+              | "online" ->
+                (* Online-placement operations (place / defer / compact /
+                   reject) aggregate per op: count and total duration. *)
+                let name = Option.value (str j "op") ~default:"?" in
+                bump online_ops name
+                  (fun (n, t) -> (n + 1, t +. dur))
+                  (0, 0.0)
               | _ -> ())))
       lines;
     match !err with
@@ -734,6 +743,8 @@ module Summary = struct
           bounds = List.rev !bounds;
           phases = List.rev !phases;
           rules_fired = List.rev !rules;
+          online_ops =
+            List.sort (fun (a, _) (b, _) -> compare a b) !online_ops;
           incumbents = List.rev !incumbents;
           probes = !probes;
           probe_time_s = !probe_time;
@@ -781,6 +792,14 @@ module Summary = struct
       List.iter
         (fun (name, n) -> Format.fprintf fmt "  %-24s %8d@." name n)
         s.rules_fired
+    end;
+    if s.online_ops <> [] then begin
+      Format.fprintf fmt "online ops:@.";
+      Format.fprintf fmt "  %-16s %8s %12s@." "op" "count" "time_s";
+      List.iter
+        (fun (name, (n, t)) ->
+          Format.fprintf fmt "  %-16s %8d %12.6f@." name n t)
+        s.online_ops
     end;
     if s.workers <> [] then begin
       Format.fprintf fmt "per-worker:@.";

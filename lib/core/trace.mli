@@ -162,6 +162,9 @@ module Summary : sig
             rounding of the per-call durations *)
     phases : (string * float) list;
     rules_fired : (string * int) list;
+    online_ops : (string * (int * float)) list;
+        (** per-op (count, total dur_s) of online-placement events
+            (place / defer / compact / reject), sorted by op name *)
     incumbents : (float * int) list;  (** (ts, objective) in trace order *)
     probes : int;
     probe_time_s : float;

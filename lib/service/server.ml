@@ -1,4 +1,5 @@
 module T = Packing.Telemetry
+module Metrics = Packing.Metrics
 module Solver = Packing.Opp_solver
 module Problems = Packing.Problems
 module Instance = Packing.Instance
@@ -38,10 +39,29 @@ type t = {
   mutable requests : int;
   mutable errors : int;
   mutable nodes_total : int;
+  (* Request-accounting records behind [stats_json]'s percentiles:
+     one latency sample per request, and per-op request counts. *)
+  mutable latencies : float list;
+  op_counts : (string, int) Hashtbl.t;
+  (* Process-metrics handles, minted against the default registry at
+     [create] (no-ops when it is disabled). The latency histogram is
+     split by cache disposition so hit and miss populations stay
+     separable in the exposition. *)
+  m_registry : Metrics.t;
+  m_inflight : Metrics.gauge;
+  m_lat_hit : Metrics.histogram;
+  m_lat_miss : Metrics.histogram;
+  m_req_nodes : Metrics.histogram;
 }
 
 let create ?(config = default_config) () =
   let config = { config with jobs = max 1 config.jobs } in
+  let m = Metrics.default () in
+  let lat label =
+    Metrics.histogram m ~help:"Request wall-clock latency"
+      ~labels:[ ("cache", label) ]
+      "fpga_server_request_seconds"
+  in
   {
     config;
     cache = Result_cache.create ~capacity:config.cache_capacity ();
@@ -49,6 +69,17 @@ let create ?(config = default_config) () =
     requests = 0;
     errors = 0;
     nodes_total = 0;
+    latencies = [];
+    op_counts = Hashtbl.create 8;
+    m_registry = m;
+    m_inflight =
+      Metrics.gauge m ~help:"Requests currently being handled"
+        "fpga_server_inflight_requests";
+    m_lat_hit = lat "hit";
+    m_lat_miss = lat "miss";
+    m_req_nodes =
+      Metrics.histogram m ~help:"Solver nodes spent per request"
+        ~buckets:Metrics.node_buckets "fpga_server_request_solver_nodes";
   }
 
 type meta = {
@@ -348,19 +379,49 @@ let cache_key req (canon : Canonical.t) =
     let t_max = Result.get_ok (resolve_time req) in
     Printf.sprintf "min-area:%d|%s" t_max canon.Canonical.key
 
-let account t ~error ~nodes =
+let account ?(op = "invalid") ?(cache_hit = false) ?(elapsed_s = 0.0) t ~error
+    ~nodes =
   Mutex.protect t.lock (fun () ->
       t.requests <- t.requests + 1;
       if error then t.errors <- t.errors + 1;
-      t.nodes_total <- t.nodes_total + nodes)
+      t.nodes_total <- t.nodes_total + nodes;
+      t.latencies <- elapsed_s :: t.latencies;
+      Hashtbl.replace t.op_counts op
+        (1 + Option.value (Hashtbl.find_opt t.op_counts op) ~default:0));
+  Metrics.incr
+    (Metrics.counter t.m_registry ~help:"Requests by op and status"
+       ~labels:
+         [ ("op", op); ("status", (if error then "error" else "ok")) ]
+       "fpga_server_requests_total");
+  Metrics.observe (if cache_hit then t.m_lat_hit else t.m_lat_miss) elapsed_s;
+  if nodes > 0 then Metrics.observe t.m_req_nodes (float_of_int nodes)
+
+let metrics_json () = Metrics.(to_json (snapshot (default ())))
+let metrics_text () = Metrics.(to_prometheus (snapshot (default ())))
 
 let handle_request t events req_json =
   let t0 = Unix.gettimeofday () in
-  let finish ?(digest = "") ?(cache_hit = false) ?(nodes = 0) ~error resp =
-    account t ~error ~nodes;
-    ( resp,
-      { cache_hit; nodes; elapsed_s = Unix.gettimeofday () -. t0; digest } )
+  Metrics.shift t.m_inflight 1.0;
+  let finish ?(op = "invalid") ?(digest = "") ?(cache_hit = false) ?(nodes = 0)
+      ~error resp =
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    account t ~op ~cache_hit ~elapsed_s ~error ~nodes;
+    Metrics.shift t.m_inflight (-1.0);
+    (resp, { cache_hit; nodes; elapsed_s; digest })
   in
+  match T.member "op" req_json with
+  | Some (T.String "metrics") ->
+    (* Introspection op: answered from the process registry without
+       touching the solver pipeline. *)
+    let id = Option.value (T.member "id" req_json) ~default:T.Null in
+    finish ~op:"metrics" ~error:false
+      (T.Obj
+         [
+           ("id", id);
+           ("op", T.String "metrics");
+           ("metrics", metrics_json ());
+         ])
+  | _ -> (
   match parse_request req_json with
   | Error (id, code, msg) -> finish ~error:true (error_response id code msg)
   | Ok req -> (
@@ -373,8 +434,10 @@ let handle_request t events req_json =
       | Op_min_time -> Result.map ignore (resolve_chip req)
       | Op_min_area -> Result.map ignore (resolve_time req)
     in
+    let op = op_name req.op in
     match params_ok with
-    | Error msg -> finish ~error:true (error_response req.id "bad-request" msg)
+    | Error msg ->
+      finish ~op ~error:true (error_response req.id "bad-request" msg)
     | Ok () -> (
       match
         let canon =
@@ -386,23 +449,23 @@ let handle_request t events req_json =
         in
         match hit with
         | Some solved ->
-          finish ~digest:canon.Canonical.digest ~cache_hit:true ~error:false
-            (render req canon solved)
+          finish ~op ~digest:canon.Canonical.digest ~cache_hit:true
+            ~error:false (render req canon solved)
         | None ->
           let solved, nodes = solve_request t req events canon in
           if t.config.use_cache && is_definitive solved then
             Result_cache.add t.cache key solved;
-          finish ~digest:canon.Canonical.digest ~nodes ~error:false
+          finish ~op ~digest:canon.Canonical.digest ~nodes ~error:false
             (render req canon solved)
       with
       | result -> result
       | exception Failure msg ->
-        finish ~error:true (error_response req.id "bad-request" msg)
+        finish ~op ~error:true (error_response req.id "bad-request" msg)
       | exception Invalid_argument msg ->
-        finish ~error:true (error_response req.id "bad-request" msg)
+        finish ~op ~error:true (error_response req.id "bad-request" msg)
       | exception exn ->
-        finish ~error:true
-          (error_response req.id "internal" (Printexc.to_string exn))))
+        finish ~op ~error:true
+          (error_response req.id "internal" (Printexc.to_string exn)))))
 
 let handle_line t w line =
   let line = String.trim line in
@@ -496,20 +559,96 @@ let serve_tcp t ~port =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Metrics exposition                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Prometheus-style scrape endpoint: each connection gets one text
+   exposition of the default registry and is closed. The socket is
+   bound in the caller (a port clash raises synchronously); the accept
+   loop runs on its own domain and never returns. *)
+let serve_metrics ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 8;
+  Domain.spawn (fun () ->
+      while true do
+        let fd, _peer = Unix.accept sock in
+        let oc = Unix.out_channel_of_descr fd in
+        (try
+           output_string oc (metrics_text ());
+           flush oc
+         with Sys_error _ | Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      done)
+
+(* Periodic JSONL snapshot dump on the heartbeat cadence. Returns the
+   stop function: it joins the dumper and writes one final snapshot so
+   a short-lived server still leaves a record. *)
+let start_metrics_dump ~path ~interval_s =
+  let oc = open_out path in
+  let w = Writer.of_channel oc in
+  let dump () =
+    Writer.line w
+      (T.to_string
+         (T.Obj
+            [
+              ("ev", T.String "metrics");
+              ("ts", T.seconds (Unix.gettimeofday ()));
+              ("metrics", metrics_json ());
+            ]))
+  in
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          (* sleep in short slices so stop stays responsive *)
+          let slept = ref 0.0 in
+          while !slept < interval_s && not (Atomic.get stop) do
+            let dt = Float.min 0.05 (interval_s -. !slept) in
+            Unix.sleepf dt;
+            slept := !slept +. dt
+          done;
+          if not (Atomic.get stop) then dump ()
+        done)
+  in
+  fun () ->
+    Atomic.set stop true;
+    Domain.join d;
+    dump ();
+    close_out_noerr oc
+
+(* ------------------------------------------------------------------ *)
 (* Statistics                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let cache_counters t = Result_cache.counters t.cache
 
 let stats_json t =
-  let requests, errors, nodes =
-    Mutex.protect t.lock (fun () -> (t.requests, t.errors, t.nodes_total))
+  let requests, errors, nodes, latencies, ops =
+    Mutex.protect t.lock (fun () ->
+        ( t.requests,
+          t.errors,
+          t.nodes_total,
+          t.latencies,
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.op_counts [] ))
   in
+  let lat = Array.of_list latencies in
   T.Obj
     [
       ("ev", T.String "stats");
       ("requests", T.Int requests);
       ("errors", T.Int errors);
       ("nodes", T.Int nodes);
+      ( "latency",
+        T.Obj
+          [
+            ("samples", T.Int (Array.length lat));
+            ("p50_s", T.seconds (T.percentile lat ~p:0.5));
+            ("p99_s", T.seconds (T.percentile lat ~p:0.99));
+          ] );
+      ( "ops",
+        T.Obj
+          (List.sort compare ops |> List.map (fun (k, v) -> (k, T.Int v))) );
       ("cache", T.cache_to_json (Result_cache.counters t.cache));
     ]

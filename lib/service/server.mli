@@ -87,9 +87,40 @@ val serve_channel : t -> Writer.t -> in_channel -> unit
     {!serve_channel}. Runs until the process is killed. *)
 val serve_tcp : t -> port:int -> unit
 
+(** {1 Metrics exposition}
+
+    Besides the normal protocol ops, a request line [{"op":"metrics"}]
+    is answered with a JSON snapshot of the process metrics registry
+    ({!Packing.Metrics.default}) without touching the solver pipeline. *)
+
+(** One Prometheus text exposition of the default registry. *)
+val metrics_text : unit -> string
+
+(** One JSON snapshot of the default registry
+    ({!Packing.Metrics.to_json}). *)
+val metrics_json : unit -> Packing.Telemetry.json
+
+(** [serve_metrics ~port] binds [127.0.0.1:port] (raising on a clash,
+    synchronously) and spawns a domain that answers every connection
+    with one {!metrics_text} exposition and closes it — a minimal
+    Prometheus scrape target. The domain never terminates; the handle
+    is returned for symmetry but joining it never succeeds. *)
+val serve_metrics : port:int -> unit Domain.t
+
+(** [start_metrics_dump ~path ~interval_s] opens [path] and spawns a
+    domain appending one [{"ev":"metrics", "ts":..., "metrics":{...}}]
+    line every [interval_s] seconds through a {!Writer}. Returns the
+    stop function, which joins the dumper, writes one final snapshot,
+    and closes the file. *)
+val start_metrics_dump : path:string -> interval_s:float -> unit -> unit
+
 val cache_counters : t -> Packing.Telemetry.cache_counters
 
-(** Cumulative server statistics as one JSON event line
-    ([{"ev":"stats", "requests":..., "errors":..., "nodes":...,
-    "cache":{...}}]). *)
+(** Cumulative server statistics as one JSON event line:
+    [{"ev":"stats", "requests":..., "errors":..., "nodes":...,
+    "latency":{"samples":..., "p50_s":..., "p99_s":...},
+    "ops":{"<op>":count, ...}, "cache":{...}}]. Latency percentiles are
+    nearest-rank over every request handled so far
+    ({!Packing.Telemetry.percentile}); [ops] counts requests by op name
+    ([invalid] for lines that never parsed to a known op). *)
 val stats_json : t -> Packing.Telemetry.json

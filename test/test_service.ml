@@ -13,6 +13,7 @@ module Placement = Geometry.Placement
 module Canonical = Service.Canonical
 module Server = Service.Server
 module Writer = Service.Writer
+module M = Packing.Metrics
 
 let fixed_rand () =
   match Sys.getenv_opt "QCHECK_SEED" with
@@ -435,6 +436,117 @@ let test_concurrent_heartbeats_not_interleaved () =
   Alcotest.(check int) "every request answered" 8 (List.length answered)
 
 (* ------------------------------------------------------------------ *)
+(* Metrics: the warm-cache run separates hit and miss populations      *)
+(* ------------------------------------------------------------------ *)
+
+let counter_total snap name =
+  match List.find_opt (fun f -> f.M.name = name) snap with
+  | None -> 0.0
+  | Some f ->
+    List.fold_left
+      (fun acc s ->
+        match s.M.value with M.Sample v -> acc +. v | M.Buckets _ -> acc)
+      0.0 f.M.samples
+
+let histogram_count snap name label =
+  match List.find_opt (fun f -> f.M.name = name) snap with
+  | None -> 0
+  | Some f ->
+    List.fold_left
+      (fun acc s ->
+        if List.mem label s.M.labels then
+          match s.M.value with
+          | M.Buckets { count; _ } -> acc + count
+          | M.Sample _ -> acc
+        else acc)
+      0 f.M.samples
+
+(* Three unique solves then two isomorphic duplicates: the cache must
+   count exactly 2 hits and 3 misses, and the request-latency histogram
+   must carry the same split under its cache=hit|miss label — the
+   populations an operator would graph to see cache effectiveness. *)
+let test_metrics_hit_miss_populations () =
+  let registry = M.create () in
+  M.set_default registry;
+  Fun.protect ~finally:(fun () -> M.set_default M.null) @@ fun () ->
+  let server = Server.create () in
+  let rng = Random.State.make [| 11 |] in
+  let insts =
+    List.init 3 (fun i ->
+        Benchmarks.Generate.random ~seed:(200 + i) ~n:5 ~max_extent:3
+          ~max_duration:3 ~arc_probability:0.2 ())
+  in
+  let line id inst =
+    request_line ~id ~op:"solve" ~chip:(8, 8)
+      ~time:(Instance.total_duration inst)
+      inst
+  in
+  let lines =
+    List.mapi (fun i inst -> line (Printf.sprintf "u%d" i) inst) insts
+    @
+    match insts with
+    | a :: b :: _ ->
+      [ line "d0" (permute_instance rng a); line "d1" (permute_instance rng b) ]
+    | _ -> assert false
+  in
+  let w = Writer.of_sink (fun _ -> ()) in
+  List.iter (Server.handle_line server w) lines;
+  let snap = M.snapshot registry in
+  Alcotest.(check (float 0.0)) "exactly two cache hits" 2.0
+    (counter_total snap "fpga_cache_hits_total");
+  Alcotest.(check (float 0.0)) "exactly three cache misses" 3.0
+    (counter_total snap "fpga_cache_misses_total");
+  Alcotest.(check int) "hit latency population" 2
+    (histogram_count snap "fpga_server_request_seconds" ("cache", "hit"));
+  Alcotest.(check int) "miss latency population" 3
+    (histogram_count snap "fpga_server_request_seconds" ("cache", "miss"));
+  Alcotest.(check (float 0.0)) "five requests counted by op and status" 5.0
+    (counter_total snap "fpga_server_requests_total");
+  Alcotest.(check (float 0.0)) "no request left in flight" 0.0
+    (counter_total snap "fpga_server_inflight_requests");
+  (* the same accounting feeds stats_json's percentiles and op table *)
+  let stats = Server.stats_json server in
+  let latency =
+    match T.member "latency" stats with
+    | Some l -> l
+    | None -> Alcotest.fail "stats_json has no latency record"
+  in
+  Alcotest.(check int) "latency sample count" 5
+    (Option.value ~default:(-1)
+       (Option.bind (T.member "samples" latency) T.to_int_opt));
+  let pick name =
+    match Option.bind (T.member name latency) T.to_float_opt with
+    | Some v -> v
+    | None -> Alcotest.failf "stats_json latency has no %s" name
+  in
+  Alcotest.(check bool) "p50 <= p99" true (pick "p50_s" <= pick "p99_s");
+  (match Option.bind (T.member "ops" stats) (T.member "solve") with
+  | Some (T.Int 5) -> ()
+  | other ->
+    Alcotest.failf "ops.solve = %s"
+      (match other with Some j -> T.to_string j | None -> "absent"));
+  (* the exposition must be well-formed by its own strict parser *)
+  (match M.of_prometheus (Server.metrics_text ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "live exposition malformed: %s" e);
+  (* and the metrics request op must answer with the same snapshot *)
+  let captured = ref None in
+  let wm = Writer.of_sink (fun l -> captured := Some l) in
+  Server.handle_line server wm {|{"id":"m","op":"metrics"}|};
+  match !captured with
+  | None -> Alcotest.fail "metrics op produced no response"
+  | Some l -> (
+    let j = parse_json l in
+    match T.member "metrics" j with
+    | None -> Alcotest.failf "no metrics member in %s" l
+    | Some payload -> (
+      match M.of_json payload with
+      | Error e -> Alcotest.failf "metrics op payload rejected: %s" e
+      | Ok snap' ->
+        Alcotest.(check (float 0.0)) "op snapshot agrees on hits" 2.0
+          (counter_total snap' "fpga_cache_hits_total")))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "service"
@@ -463,5 +575,10 @@ let () =
             test_server_loop_survives;
           Alcotest.test_case "concurrent heartbeats stay line-atomic" `Quick
             test_concurrent_heartbeats_not_interleaved;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "warm run separates hit and miss populations"
+            `Quick test_metrics_hit_miss_populations;
         ] );
     ]

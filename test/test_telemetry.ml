@@ -150,6 +150,62 @@ let delta_prop (a, b) =
 
 let self_delta_prop a = T.sub_bound_counters a a = []
 
+(* ------------------------------------------------------------------ *)
+(* Nearest-rank percentile                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The independent reference: sort, take the 1-based ceil(p*n)-th
+   element, clamped into range. *)
+let reference_percentile samples p =
+  let n = Array.length samples in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let arb_percentile_case =
+  QCheck.(
+    pair
+      (list_of_size Gen.(1 -- 100) (float_bound_exclusive 1000.0))
+      (float_bound_inclusive 1.0))
+
+let prop_percentile_matches_reference (samples, p) =
+  let a = Array.of_list samples in
+  let got = T.percentile a ~p in
+  let want = reference_percentile a p in
+  if got <> want then
+    QCheck.Test.fail_reportf "percentile ~p:%g = %g, reference says %g" p got
+      want;
+  true
+
+let prop_percentile_is_a_sample (samples, p) =
+  let a = Array.of_list samples in
+  List.mem (T.percentile a ~p) samples
+
+let test_percentile_edges () =
+  Alcotest.(check (float 0.0)) "empty array is 0.0" 0.0
+    (T.percentile [||] ~p:0.5);
+  let single = [| 42.0 |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "singleton at p=%g" p)
+        42.0 (T.percentile single ~p))
+    [ 0.0; 0.5; 1.0 ];
+  let a = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  Alcotest.(check (float 0.0)) "p=0 is the minimum" 1.0
+    (T.percentile a ~p:0.0);
+  Alcotest.(check (float 0.0)) "p=1 is the maximum" 5.0
+    (T.percentile a ~p:1.0);
+  Alcotest.(check (float 0.0)) "p=0.5 is the median" 3.0
+    (T.percentile a ~p:0.5);
+  (* ties: duplicates must not confuse the rank *)
+  Alcotest.(check (float 0.0)) "duplicates keep nearest rank" 2.0
+    (T.percentile [| 2.0; 2.0; 2.0; 9.0 |] ~p:0.5)
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -173,5 +229,14 @@ let () =
             QCheck.(pair counters_arb counters_arb)
             delta_prop;
           qtest "sub a a is empty" counters_arb self_delta_prop;
+        ] );
+      ( "percentile",
+        [
+          qtest "matches the naive sorted reference" arb_percentile_case
+            prop_percentile_matches_reference;
+          qtest "always returns one of the samples" arb_percentile_case
+            prop_percentile_is_a_sample;
+          Alcotest.test_case "edge cases: empty, singleton, p=0/0.5/1"
+            `Quick test_percentile_edges;
         ] );
     ]

@@ -134,6 +134,42 @@ let test_summary_matches_stats () =
     Alcotest.(check bool) "found the incumbent" true
       (List.exists (fun (_, obj) -> obj = 14) s.Trace.Summary.incumbents)
 
+(* Online_op events aggregate into the summary's per-op table, keeping
+   counts exact and durations additive, sorted by op name. *)
+let test_summary_online_ops () =
+  let trace = Trace.create () in
+  Trace.online_op trace ~op:"place" ~task:0 ~sim_time:0 ~dur_s:0.25;
+  Trace.online_op trace ~op:"defer" ~task:1 ~sim_time:0 ~dur_s:0.5;
+  Trace.online_op trace ~op:"place" ~task:1 ~sim_time:3 ~dur_s:0.75;
+  Trace.online_op trace ~op:"compact" ~task:2 ~sim_time:4 ~dur_s:0.125;
+  match Trace.Summary.of_lines (jsonl_lines trace) with
+  | Error msg -> Alcotest.failf "summary failed: %s" msg
+  | Ok s ->
+    let ops = s.Trace.Summary.online_ops in
+    Alcotest.(check (list string)) "ops sorted by name"
+      [ "compact"; "defer"; "place" ]
+      (List.map fst ops);
+    let look op =
+      match List.assoc_opt op ops with
+      | Some x -> x
+      | None -> Alcotest.failf "summary lost online op %S" op
+    in
+    let place_n, place_s = look "place" in
+    Alcotest.(check int) "two places" 2 place_n;
+    Alcotest.(check (float 1e-9)) "place time is additive" 1.0 place_s;
+    let defer_n, defer_s = look "defer" in
+    Alcotest.(check int) "one defer" 1 defer_n;
+    Alcotest.(check (float 1e-9)) "defer time" 0.5 defer_s;
+    (* and the text rendering includes the table *)
+    let text = Format.asprintf "%a" Trace.Summary.pp s in
+    let contains needle =
+      let nh = String.length text and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "pp renders the online table" true
+      (contains "online ops" && contains "place")
+
 (* ------------------------------------------------------------------ *)
 (* Ring buffer and sampling                                            *)
 (* ------------------------------------------------------------------ *)
@@ -246,6 +282,8 @@ let () =
         [
           Alcotest.test_case "reproduces per-bound stats" `Quick
             test_summary_matches_stats;
+          Alcotest.test_case "aggregates online ops" `Quick
+            test_summary_online_ops;
         ] );
       ( "ring",
         [
